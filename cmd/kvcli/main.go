@@ -1,0 +1,218 @@
+// Command kvcli is a command-line client for a kvserver cluster.
+//
+// Usage:
+//
+//	kvcli -servers host1:7001,host2:7001,... [-mode era-ce-cd] <command> [args]
+//
+// Commands:
+//
+//	set <key> <value>     store a value (value read from the argument)
+//	setfile <key> <path>  store a file's contents
+//	get <key>             print a value
+//	del <key>             delete a key
+//	stats                 print per-server store statistics
+//	ping                  check liveness of every server
+//	repair <key>          restore full chunk/replica redundancy
+//	verify <key>          scrub a stripe's parity consistency
+//	bench <n> <size>      time n Set+Get round trips of `size` bytes
+//
+// Modes: none, sync-rep, async-rep, era-ce-cd, era-se-sd, era-se-cd,
+// era-ce-sd, hybrid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/stats"
+	"ecstore/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvcli:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (core.Resilience, core.Scheme, error) {
+	switch s {
+	case "none":
+		return core.ResilienceNone, 0, nil
+	case "sync-rep":
+		return core.ResilienceSyncRep, 0, nil
+	case "async-rep":
+		return core.ResilienceAsyncRep, 0, nil
+	case "era-ce-cd":
+		return core.ResilienceErasure, core.SchemeCECD, nil
+	case "era-se-sd":
+		return core.ResilienceErasure, core.SchemeSESD, nil
+	case "era-se-cd":
+		return core.ResilienceErasure, core.SchemeSECD, nil
+	case "era-ce-sd":
+		return core.ResilienceErasure, core.SchemeCESD, nil
+	case "hybrid":
+		return core.ResilienceHybrid, 0, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func run() error {
+	servers := flag.String("servers", "127.0.0.1:7001", "comma-separated server addresses")
+	mode := flag.String("mode", "era-ce-cd", "resilience mode")
+	k := flag.Int("k", 3, "erasure data chunks K")
+	m := flag.Int("m", 2, "erasure parity chunks M")
+	replicas := flag.Int("replicas", 3, "replication factor F")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		return fmt.Errorf("missing command")
+	}
+
+	resilience, scheme, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	client, err := core.New(core.Config{
+		Network:    transport.TCP{},
+		Servers:    strings.Split(*servers, ","),
+		Resilience: resilience,
+		Scheme:     scheme,
+		K:          *k,
+		M:          *m,
+		Replicas:   *replicas,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "set":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: set <key> <value>")
+		}
+		return client.Set(args[1], []byte(args[2]))
+	case "setfile":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: setfile <key> <path>")
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			return err
+		}
+		return client.Set(args[1], data)
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		v, err := client.Get(args[1])
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(v, '\n'))
+		return err
+	case "del":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: del <key>")
+		}
+		return client.Delete(args[1])
+	case "stats":
+		for _, addr := range strings.Split(*servers, ",") {
+			st, err := client.ServerStats(addr)
+			if err != nil {
+				fmt.Printf("%-24s DOWN (%v)\n", addr, err)
+				continue
+			}
+			fmt.Printf("%-24s items=%d used=%dB hits=%d misses=%d evictions=%d\n",
+				addr, st.Items, st.UsedBytes, st.Hits, st.Misses, st.Evictions)
+		}
+		return nil
+	case "ping":
+		for _, addr := range strings.Split(*servers, ",") {
+			if err := client.Ping(addr); err != nil {
+				fmt.Printf("%-24s DOWN\n", addr)
+			} else {
+				fmt.Printf("%-24s ok\n", addr)
+			}
+		}
+		return nil
+	case "repair":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: repair <key>")
+		}
+		report, err := client.Repair(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		return nil
+	case "verify":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: verify <key>")
+		}
+		ok, err := client.Verify(args[1])
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Println("stripe consistent")
+		} else {
+			fmt.Println("stripe INCOMPLETE or parity mismatch (run repair)")
+		}
+		return nil
+	case "bench":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: bench <n> <size>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		size, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		return bench(client, n, size)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func bench(client *core.Client, n, size int) error {
+	value := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(value)
+	setHist, getHist := stats.NewHistogram(), stats.NewHistogram()
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		opStart := time.Now()
+		if err := client.Set(fmt.Sprintf("bench-%d", i), value); err != nil {
+			return fmt.Errorf("set %d: %w", i, err)
+		}
+		setHist.Record(time.Since(opStart))
+	}
+	setElapsed := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		opStart := time.Now()
+		if _, err := client.Get(fmt.Sprintf("bench-%d", i)); err != nil {
+			return fmt.Errorf("get %d: %w", i, err)
+		}
+		getHist.Record(time.Since(opStart))
+	}
+	getElapsed := time.Since(start)
+
+	fmt.Printf("set: %s (%.0f ops/s)\n", setHist.Summarize(), float64(n)/setElapsed.Seconds())
+	fmt.Printf("get: %s (%.0f ops/s)\n", getHist.Summarize(), float64(n)/getElapsed.Seconds())
+	return nil
+}

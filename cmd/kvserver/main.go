@@ -1,0 +1,67 @@
+// Command kvserver runs one resilient key-value store server over
+// TCP. Start one process per cluster node, giving every process the
+// same -peers list (required for the server-side erasure schemes):
+//
+//	kvserver -addr 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	kvserver -addr 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	kvserver -addr 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// Then point kvcli (or a core.Client) at the same list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"ecstore/internal/server"
+	"ecstore/internal/store"
+	"ecstore/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7001", "address to listen on")
+	peers := flag.String("peers", "", "comma-separated list of all cluster addresses (including this one)")
+	memMB := flag.Int64("mem-mb", 0, "memory budget in MiB (0 = unlimited)")
+	workers := flag.Int("workers", server.DefaultWorkers, "worker pool size")
+	noEvict := flag.Bool("no-evict", false, "fail writes when full instead of evicting LRU items")
+	flag.Parse()
+
+	peerList := []string{*addr}
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	srv, err := server.New(server.Config{
+		Addr:    *addr,
+		Network: transport.TCP{},
+		Peers:   peerList,
+		Store: store.Config{
+			MaxBytes:        *memMB << 20,
+			DisableEviction: *noEvict,
+		},
+		Workers: *workers,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("kvserver listening on %s (peers: %v, workers: %d)", srv.Addr(), peerList, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("kvserver shutting down")
+	srv.Close()
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command memproxy exposes the resilient key-value cluster through
+// the memcached ASCII protocol, so unmodified memcached clients get
+// erasure-coded fault tolerance transparently:
+//
+//	memproxy -listen 127.0.0.1:11211 \
+//	         -servers 127.0.0.1:7001,127.0.0.1:7002,... \
+//	         -mode era-ce-cd
+//
+//	printf 'set k 0 0 5\r\nhello\r\nget k\r\nquit\r\n' | nc 127.0.0.1 11211
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"ecstore/internal/core"
+	"ecstore/internal/memproto"
+	"ecstore/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:11211", "memcached-protocol listen address")
+	servers := flag.String("servers", "127.0.0.1:7001", "comma-separated kvserver addresses")
+	mode := flag.String("mode", "era-ce-cd", "resilience mode: none|sync-rep|async-rep|era-ce-cd|era-se-sd|era-se-cd|era-ce-sd|hybrid")
+	k := flag.Int("k", 3, "erasure data chunks K")
+	m := flag.Int("m", 2, "erasure parity chunks M")
+	replicas := flag.Int("replicas", 3, "replication factor F")
+	flag.Parse()
+
+	resilience, scheme, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	addrs := strings.Split(*servers, ",")
+	client, err := core.New(core.Config{
+		Network:    transport.TCP{},
+		Servers:    addrs,
+		Resilience: resilience,
+		Scheme:     scheme,
+		K:          *k,
+		M:          *m,
+		Replicas:   *replicas,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ln, err := transport.TCP{}.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	srv := memproto.Serve(ln, &memproto.ClusterBackend{Client: client, StatsAddrs: addrs})
+	log.Printf("memproxy: memcached protocol on %s -> %d kv servers (%s)", srv.Addr(), len(addrs), *mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	return nil
+}
+
+func parseMode(s string) (core.Resilience, core.Scheme, error) {
+	switch s {
+	case "none":
+		return core.ResilienceNone, 0, nil
+	case "sync-rep":
+		return core.ResilienceSyncRep, 0, nil
+	case "async-rep":
+		return core.ResilienceAsyncRep, 0, nil
+	case "era-ce-cd":
+		return core.ResilienceErasure, core.SchemeCECD, nil
+	case "era-se-sd":
+		return core.ResilienceErasure, core.SchemeSESD, nil
+	case "era-se-cd":
+		return core.ResilienceErasure, core.SchemeSECD, nil
+	case "era-ce-sd":
+		return core.ResilienceErasure, core.SchemeCESD, nil
+	case "hybrid":
+		return core.ResilienceHybrid, 0, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown mode %q", s)
+	}
+}

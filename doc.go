@@ -1,0 +1,22 @@
+// Package ecstore is a high-performance, resilient in-memory key-value
+// store with online Reed-Solomon erasure coding, reproducing
+// "High-Performance and Resilient Key-Value Store with Online Erasure
+// Coding for Big Data Workloads" (Shankar, Lu, Panda — ICDCS 2017).
+//
+// The library lives under internal/:
+//
+//   - internal/core — the client: non-blocking ISet/IGet/Wait APIs and
+//     the resilience strategies (replication, four erasure schemes,
+//     hybrid).
+//   - internal/server, internal/store — the Memcached-style server.
+//   - internal/gf256, internal/erasure — the coding substrate.
+//   - internal/simnet, internal/simkv — the virtual-time cluster
+//     simulator used to regenerate the paper's figures.
+//   - internal/boldio, internal/lustre — the burst-buffer case study.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmark
+// harness in bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem .
+package ecstore

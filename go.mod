@@ -1,0 +1,3 @@
+module ecstore
+
+go 1.22

@@ -1,0 +1,101 @@
+package boldio
+
+import (
+	"testing"
+)
+
+// smallDFSIO returns a scaled-down TestDFSIO config (64 MB per map)
+// that preserves the relative shapes at test speed.
+func smallDFSIO(mode BBMode) DFSIOConfig {
+	return DFSIOConfig{
+		Mode:        mode,
+		BytesPerMap: 64 << 20,
+		Seed:        3,
+	}
+}
+
+func TestBBModeString(t *testing.T) {
+	for _, m := range []BBMode{DirectLustre, BoldioAsyncRep, BoldioEraCECD, BoldioEraSECD} {
+		if m.String() == "" {
+			t.Errorf("empty name for %d", m)
+		}
+	}
+	if BBMode(9).String() != "bbmode(9)" {
+		t.Fatal("unknown mode name")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	direct, err := RunTestDFSIO(smallDFSIO(DirectLustre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunTestDFSIO(smallDFSIO(BoldioAsyncRep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	era, err := RunTestDFSIO(smallDFSIO(BoldioEraCECD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secd, err := RunTestDFSIO(smallDFSIO(BoldioEraSECD))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper: Boldio achieves up to 2.6x write and 5.9x read
+	// throughput over Lustre-Direct.
+	if w := rep.WriteMBps() / direct.WriteMBps(); w < 1.5 {
+		t.Fatalf("boldio write %.0f MB/s only %.2fx of lustre-direct %.0f MB/s",
+			rep.WriteMBps(), w, direct.WriteMBps())
+	}
+	if r := rep.ReadMBps() / direct.ReadMBps(); r < 2 {
+		t.Fatalf("boldio read %.0f MB/s only %.2fx of lustre-direct %.0f MB/s",
+			rep.ReadMBps(), r, direct.ReadMBps())
+	}
+	// Paper: Era-CE-CD matches Async-Rep for writes (no overhead) and
+	// stays within ~10% for reads; Era-SE-CD within ~3-11%.
+	if ratio := era.WriteMBps() / rep.WriteMBps(); ratio < 0.85 {
+		t.Fatalf("era-ce-cd write %.2fx of async-rep; paper says no overhead", ratio)
+	}
+	if ratio := era.ReadMBps() / rep.ReadMBps(); ratio < 0.80 {
+		t.Fatalf("era-ce-cd read %.2fx of async-rep; paper says <9%% overhead", ratio)
+	}
+	if ratio := secd.WriteMBps() / rep.WriteMBps(); ratio < 0.75 {
+		t.Fatalf("era-se-cd write %.2fx of async-rep; paper says 3-11%% overhead", ratio)
+	}
+
+	// Paper: ~1.84x memory efficiency for the erasure-coded burst
+	// buffer (5/3 overhead vs 3x replication).
+	if era.KVUsedBytes <= 0 || rep.KVUsedBytes <= 0 {
+		t.Fatal("memory accounting missing")
+	}
+	saving := float64(rep.KVUsedBytes) / float64(era.KVUsedBytes)
+	if saving < 1.5 || saving > 2.2 {
+		t.Fatalf("memory saving %.2fx, want ~1.8x", saving)
+	}
+	if direct.KVUsedBytes != 0 {
+		t.Fatal("lustre-direct reports KV memory")
+	}
+}
+
+func TestDFSIODeterminism(t *testing.T) {
+	a, err := RunTestDFSIO(smallDFSIO(BoldioEraCECD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTestDFSIO(smallDFSIO(BoldioEraCECD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WriteTime != b.WriteTime || a.ReadTime != b.ReadTime {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDFSIOThroughputMath(t *testing.T) {
+	r := DFSIOResult{TotalBytes: 100 << 20}
+	if r.WriteMBps() != 0 {
+		t.Fatal("zero-time throughput must be 0")
+	}
+}

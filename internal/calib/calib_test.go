@@ -1,0 +1,95 @@
+package calib
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostAt(t *testing.T) {
+	c := Cost{Fixed: time.Microsecond, PerByte: 1} // 1 ns/byte
+	if got := c.At(1000); got != time.Microsecond+1000*time.Nanosecond {
+		t.Fatalf("At(1000) = %v", got)
+	}
+	if got := c.At(0); got != time.Microsecond {
+		t.Fatalf("At(0) = %v", got)
+	}
+}
+
+func TestDefaultModelMonotone(t *testing.T) {
+	sizes := []int{1 << 10, 16 << 10, 256 << 10, 1 << 20}
+	var prev time.Duration
+	for _, s := range sizes {
+		d := Default.Encode.At(s)
+		if d <= prev {
+			t.Fatalf("encode cost not increasing at %d bytes", s)
+		}
+		prev = d
+	}
+	// Decoding two erasures must cost more than one.
+	if Default.DecodeFor(2, 1<<20) <= Default.DecodeFor(1, 1<<20) {
+		t.Fatal("decode2 not more expensive than decode1")
+	}
+	if Default.DecodeFor(0, 1<<20) != 0 {
+		t.Fatal("no-failure decode must be free")
+	}
+}
+
+func TestDefaultMagnitudes(t *testing.T) {
+	// The paper's Figure 4 regime: a 1 MB pair encodes in a few
+	// hundred microseconds on a commodity CPU.
+	d := Default.Encode.At(1 << 20)
+	if d < 100*time.Microsecond || d > 5*time.Millisecond {
+		t.Fatalf("1 MB encode modelled at %v; outside the plausible regime", d)
+	}
+}
+
+func TestFit(t *testing.T) {
+	c := fit(1000, 2*time.Microsecond, 2000, 3*time.Microsecond)
+	if c.PerByte != 1 {
+		t.Fatalf("slope %v", c.PerByte)
+	}
+	if c.Fixed != time.Microsecond {
+		t.Fatalf("fixed %v", c.Fixed)
+	}
+	// Negative slopes/intercepts clamp to zero.
+	c = fit(1000, 3*time.Microsecond, 2000, 2*time.Microsecond)
+	if c.PerByte != 0 {
+		t.Fatalf("negative slope not clamped: %v", c.PerByte)
+	}
+}
+
+func TestMeasureProducesUsableModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	m, err := Measure(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 || m.M != 2 {
+		t.Fatalf("model %+v", m)
+	}
+	enc := m.Encode.At(1 << 20)
+	if enc <= 0 || enc > time.Second {
+		t.Fatalf("measured 1 MB encode %v implausible", enc)
+	}
+	if m.DecodeFor(1, 1<<20) <= 0 {
+		t.Fatal("decode1 cost is zero")
+	}
+}
+
+func TestMeasureBadParams(t *testing.T) {
+	if _, err := Measure(0, 2); err == nil {
+		t.Fatal("Measure(0,2) succeeded")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	ds := []time.Duration{5, 1, 3}
+	if median(ds) != 3 {
+		t.Fatalf("median = %v", median(ds))
+	}
+	if median(nil) != 0 {
+		t.Fatal("median(nil) != 0")
+	}
+}

@@ -1,0 +1,150 @@
+// Package cluster is the orchestration harness used by tests,
+// examples and command-line tools: it starts an N-server key-value
+// store cluster on a shared transport, and can kill and restart
+// individual servers to exercise degraded reads and recovery.
+package cluster
+
+import (
+	"fmt"
+
+	"ecstore/internal/server"
+	"ecstore/internal/store"
+	"ecstore/internal/transport"
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// N is the number of servers (required unless Addrs is given).
+	N int
+	// Network is the shared transport (an unshaped Inproc if nil).
+	Network transport.Network
+	// Addrs optionally names each server's address; len(Addrs)
+	// overrides N. The default is kv-0..kv-N-1.
+	Addrs []string
+	// StoreBytesPerServer caps each server's memory (0 = unlimited).
+	StoreBytesPerServer int64
+	// DisableEviction makes full servers fail writes instead of
+	// evicting LRU items.
+	DisableEviction bool
+	// Workers is the per-server worker pool size.
+	Workers int
+	// Logf receives server diagnostics (discarded if nil).
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a running group of servers.
+type Cluster struct {
+	cfg     Config
+	network transport.Network
+	addrs   []string
+	servers []*server.Server // nil entries are killed servers
+}
+
+// Start launches the cluster.
+func Start(cfg Config) (*Cluster, error) {
+	addrs := cfg.Addrs
+	if len(addrs) == 0 {
+		if cfg.N <= 0 {
+			return nil, fmt.Errorf("cluster: need N > 0 or explicit Addrs")
+		}
+		addrs = make([]string, cfg.N)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("kv-%d", i)
+		}
+	}
+	network := cfg.Network
+	if network == nil {
+		network = transport.NewInproc(transport.Shape{})
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		network: network,
+		addrs:   addrs,
+		servers: make([]*server.Server, len(addrs)),
+	}
+	for i := range addrs {
+		if err := c.start(i); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) start(i int) error {
+	logf := c.cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	srv, err := server.New(server.Config{
+		Addr:    c.addrs[i],
+		Network: c.network,
+		Peers:   c.addrs,
+		Store: store.Config{
+			MaxBytes:        c.cfg.StoreBytesPerServer,
+			DisableEviction: c.cfg.DisableEviction,
+		},
+		Workers: c.cfg.Workers,
+		Logf:    logf,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: start server %d: %w", i, err)
+	}
+	c.servers[i] = srv
+	return nil
+}
+
+// Network returns the shared transport (pass it to core.Config).
+func (c *Cluster) Network() transport.Network { return c.network }
+
+// Addrs returns the server addresses (pass them to core.Config).
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.addrs))
+	copy(out, c.addrs)
+	return out
+}
+
+// Server returns server i, or nil if it is killed.
+func (c *Cluster) Server(i int) *server.Server { return c.servers[i] }
+
+// Kill stops server i, simulating a node failure. Its in-memory data
+// is lost, as with a crashed Memcached instance.
+func (c *Cluster) Kill(i int) {
+	if srv := c.servers[i]; srv != nil {
+		srv.Close()
+		c.servers[i] = nil
+	}
+}
+
+// Restart brings a killed server back (with an empty store).
+func (c *Cluster) Restart(i int) error {
+	if c.servers[i] != nil {
+		return fmt.Errorf("cluster: server %d is already running", i)
+	}
+	return c.start(i)
+}
+
+// Alive returns the number of running servers.
+func (c *Cluster) Alive() int {
+	n := 0
+	for _, s := range c.servers {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops every running server.
+func (c *Cluster) Close() {
+	for i, s := range c.servers {
+		if s != nil {
+			s.Close()
+			c.servers[i] = nil
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+func TestStartAndClose(t *testing.T) {
+	cl, err := Start(Config{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Alive() != 5 {
+		t.Fatalf("alive = %d", cl.Alive())
+	}
+	if len(cl.Addrs()) != 5 {
+		t.Fatalf("addrs = %v", cl.Addrs())
+	}
+	pool := rpc.NewPool(cl.Network())
+	defer pool.Close()
+	for _, addr := range cl.Addrs() {
+		if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "p"}); err != nil {
+			t.Fatalf("ping %s: %v", addr, err)
+		}
+	}
+}
+
+func TestKillAndRestart(t *testing.T) {
+	cl, err := Start(Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	pool := rpc.NewPool(cl.Network())
+	defer pool.Close()
+
+	addr := cl.Addrs()[1]
+	cl.Kill(1)
+	if cl.Alive() != 2 {
+		t.Fatalf("alive = %d", cl.Alive())
+	}
+	if cl.Server(1) != nil {
+		t.Fatal("killed server still returned")
+	}
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "p"}); !errors.Is(err, rpc.ErrServerDown) {
+		t.Fatalf("ping dead server: %v", err)
+	}
+	cl.Kill(1) // idempotent
+
+	if err := cl.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Alive() != 3 {
+		t.Fatalf("alive = %d after restart", cl.Alive())
+	}
+	if err := cl.Restart(1); err == nil {
+		t.Fatal("restarting a running server succeeded")
+	}
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "p"}); err != nil {
+		t.Fatalf("ping restarted server: %v", err)
+	}
+}
+
+func TestExplicitAddrs(t *testing.T) {
+	cl, err := Start(Config{Addrs: []string{"alpha", "beta"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got := cl.Addrs()
+	if got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("addrs = %v", got)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestMemoryCapApplied(t *testing.T) {
+	cl, err := Start(Config{N: 1, StoreBytesPerServer: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if got := cl.Server(0).Store().MaxBytes(); got != 1<<20 {
+		t.Fatalf("MaxBytes = %d", got)
+	}
+}

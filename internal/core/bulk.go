@@ -1,0 +1,52 @@
+package core
+
+import "errors"
+
+// MSet stores every pair, pipelining the writes through the
+// non-blocking window — the bulk access pattern Section III-B notes
+// can overlap the D/B transfer factor across requests. All writes are
+// attempted; the first error is returned.
+func (c *Client) MSet(pairs map[string][]byte) error {
+	futures := make([]*Future, 0, len(pairs))
+	for key, value := range pairs {
+		futures = append(futures, c.ISet(key, value))
+	}
+	return WaitAll(futures...)
+}
+
+// MGet fetches every key with pipelined non-blocking reads. The
+// result holds the keys that were found; keys that do not exist are
+// simply absent. The error reports the first infrastructure failure
+// (ErrUnavailable etc.) — ErrNotFound is not an error for MGet.
+func (c *Client) MGet(keys []string) (map[string][]byte, error) {
+	futures := make([]*Future, len(keys))
+	for i, key := range keys {
+		futures[i] = c.IGet(key)
+	}
+	out := make(map[string][]byte, len(keys))
+	var firstErr error
+	for i, f := range futures {
+		v, err := f.Wait()
+		switch {
+		case err == nil:
+			out[keys[i]] = v
+		case errors.Is(err, ErrNotFound):
+			// absent key: not an error for a bulk read
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return out, firstErr
+}
+
+// MDelete removes every key, pipelined. All deletes are attempted; the
+// first error is returned.
+func (c *Client) MDelete(keys []string) error {
+	futures := make([]*Future, len(keys))
+	for i, key := range keys {
+		futures[i] = c.IDelete(key)
+	}
+	return WaitAll(futures...)
+}

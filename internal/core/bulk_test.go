@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ecstore/internal/core"
+)
+
+func TestMSetMGetRoundTrip(t *testing.T) {
+	cl := startCluster(t, 5)
+	for name, cfg := range map[string]core.Config{
+		"era-ce-cd": {Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2},
+		"async-rep": {Resilience: core.ResilienceAsyncRep, Replicas: 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := newClient(t, cl, cfg)
+			pairs := map[string][]byte{}
+			keys := make([]string, 0, 30)
+			for i := 0; i < 30; i++ {
+				key := fmt.Sprintf("%s-bulk-%d", name, i)
+				pairs[key] = bytes.Repeat([]byte{byte(i)}, 100+i*37)
+				keys = append(keys, key)
+			}
+			if err := c.MSet(pairs); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.MGet(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(pairs) {
+				t.Fatalf("MGet returned %d of %d", len(got), len(pairs))
+			}
+			for key, want := range pairs {
+				if !bytes.Equal(got[key], want) {
+					t.Fatalf("key %s differs", key)
+				}
+			}
+		})
+	}
+}
+
+func TestMGetMissingKeysAbsentNotError(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	if err := c.Set("present", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGet([]string{"present", "absent-1", "absent-2"})
+	if err != nil {
+		t.Fatalf("MGet err = %v; missing keys must not be errors", err)
+	}
+	if len(got) != 1 || string(got["present"]) != "v" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMGetReportsInfrastructureFailure(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("mk-%d", i)
+		if err := c.Set(keys[i], []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Kill(0)
+	cl.Kill(1)
+	cl.Kill(2) // beyond tolerance
+	_, err := c.MGet(keys)
+	if err == nil {
+		t.Fatal("MGet returned no error with 3 of 5 servers down")
+	}
+}
+
+func TestMDelete(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	keys := make([]string, 20)
+	pairs := map[string][]byte{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("md-%d", i)
+		pairs[keys[i]] = []byte("v")
+	}
+	if err := c.MSet(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MDelete(keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("%d keys survive MDelete", len(got))
+	}
+}
+
+func TestMSetEmpty(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceNone})
+	if err := c.MSet(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGet(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("%v %v", got, err)
+	}
+	if err := c.MDelete(nil); err != nil {
+		t.Fatal(err)
+	}
+}

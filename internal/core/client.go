@@ -1,0 +1,226 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ecstore/internal/hashring"
+	"ecstore/internal/rpc"
+	"ecstore/internal/store"
+	"ecstore/internal/wire"
+)
+
+// Client errors.
+var (
+	// ErrNotFound is returned by Get when the key does not exist (or
+	// too few chunks survive to reconstruct it).
+	ErrNotFound = wire.ErrNotFound
+	// ErrUnavailable is returned when too many servers are down to
+	// complete the operation.
+	ErrUnavailable = errors.New("core: not enough servers available")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: client is closed")
+)
+
+// Client is the resilient key-value store client. It is safe for
+// concurrent use by multiple goroutines.
+type Client struct {
+	cfg   Config
+	pool  *rpc.Pool
+	ring  *hashring.Ring
+	strat strategy
+
+	// window is the ARPE send/receive window: a semaphore bounding
+	// in-flight non-blocking operations. Its capacity is the
+	// documented tunable; this is the one channel whose size encodes
+	// protocol behaviour rather than buffering convenience.
+	window chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// strategy executes whole operations under a resilience scheme. The
+// implementations run inside ARPE goroutines, so they may block.
+type strategy interface {
+	set(key string, value []byte, ttl time.Duration) error
+	get(key string) ([]byte, error)
+	del(key string) error
+}
+
+// New returns a Client for the given configuration.
+func New(cfg Config) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:    cfg,
+		pool:   rpc.NewPool(cfg.Network),
+		ring:   hashring.New(0),
+		window: make(chan struct{}, cfg.Window),
+	}
+	for _, s := range cfg.Servers {
+		c.ring.Add(s)
+	}
+	c.strat, err = c.newStrategy(cfg.Resilience)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) newStrategy(r Resilience) (strategy, error) {
+	switch r {
+	case ResilienceNone:
+		return &repStrategy{c: c, replicas: 1, async: true}, nil
+	case ResilienceSyncRep:
+		return &repStrategy{c: c, replicas: c.cfg.Replicas, async: false}, nil
+	case ResilienceAsyncRep:
+		return &repStrategy{c: c, replicas: c.cfg.Replicas, async: true}, nil
+	case ResilienceErasure:
+		return newECStrategy(c)
+	case ResilienceHybrid:
+		rep := &repStrategy{c: c, replicas: c.cfg.Replicas, async: true}
+		ec, err := newECStrategy(c)
+		if err != nil {
+			return nil, err
+		}
+		return &hybridStrategy{rep: rep, ec: ec, threshold: c.cfg.HybridThreshold}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown resilience mode %v", r)
+	}
+}
+
+// Close shuts the client down. In-flight operations fail; subsequent
+// calls return ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.pool.Close()
+	c.wg.Wait()
+}
+
+// submit runs fn through the ARPE: it acquires a window slot and
+// executes fn on its own goroutine, completing f when done. This is
+// what lets encode/decode computation of one operation overlap the
+// response-wait of others.
+func (c *Client) submit(f *Future, fn func() ([]byte, error)) *Future {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		f.complete(nil, ErrClosed)
+		return f
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+
+	c.window <- struct{}{}
+	go func() {
+		defer c.wg.Done()
+		defer func() { <-c.window }()
+		v, err := fn()
+		f.complete(v, err)
+	}()
+	return f
+}
+
+// ISet stores value under key without blocking; completion is
+// observed through the returned Future (memcached_iset).
+func (c *Client) ISet(key string, value []byte) *Future {
+	return c.ISetTTL(key, value, 0)
+}
+
+// ISetTTL is ISet with an item lifetime; ttl is rounded down to whole
+// seconds on the wire (0 = no expiry, as in memcached).
+func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
+	f := newFuture()
+	return c.submit(f, func() ([]byte, error) {
+		return nil, c.strat.set(key, value, ttl)
+	})
+}
+
+// IGet fetches key without blocking (memcached_iget).
+func (c *Client) IGet(key string) *Future {
+	f := newFuture()
+	return c.submit(f, func() ([]byte, error) {
+		return c.strat.get(key)
+	})
+}
+
+// IDelete removes key without blocking.
+func (c *Client) IDelete(key string) *Future {
+	f := newFuture()
+	return c.submit(f, func() ([]byte, error) {
+		return nil, c.strat.del(key)
+	})
+}
+
+// Set stores value under key, blocking until the configured resilience
+// guarantee holds (all replicas or all K+M chunks acknowledged).
+func (c *Client) Set(key string, value []byte) error {
+	_, err := c.ISet(key, value).Wait()
+	return err
+}
+
+// SetTTL stores value under key with an item lifetime.
+func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
+	_, err := c.ISetTTL(key, value, ttl).Wait()
+	return err
+}
+
+// Get returns the value stored under key, reconstructing it from
+// parity chunks if servers have failed.
+func (c *Client) Get(key string) ([]byte, error) {
+	return c.IGet(key).Wait()
+}
+
+// Delete removes key from every server holding a copy or chunk.
+func (c *Client) Delete(key string) error {
+	_, err := c.IDelete(key).Wait()
+	return err
+}
+
+// Ping checks liveness of one server.
+func (c *Client) Ping(addr string) error {
+	_, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "ping"})
+	return err
+}
+
+// ServerStats fetches the store statistics of one server.
+func (c *Client) ServerStats(addr string) (store.Stats, error) {
+	resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpStats, Key: "stats"})
+	if err != nil {
+		return store.Stats{}, err
+	}
+	var st store.Stats
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		return store.Stats{}, fmt.Errorf("core: decode stats: %w", err)
+	}
+	return st, nil
+}
+
+// placement returns the n servers holding key's replicas or chunks:
+// the consistent-hash primary plus the next distinct servers. With a
+// cluster smaller than n, entries wrap (reduced fault tolerance, but
+// functional).
+func (c *Client) placement(key string, n int) []string {
+	servers := c.ring.GetN(key, n)
+	if len(servers) == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = servers[i%len(servers)]
+	}
+	return out
+}

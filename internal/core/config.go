@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: a
+// high-performance resilient key-value store client with online
+// erasure coding. It provides:
+//
+//   - Non-blocking Set/Get/Delete APIs (ISet/IGet/IDelete) with
+//     memcached_wait/test-style completion, backed by an Asynchronous
+//     Request Processing Engine (ARPE) that overlaps encode/decode
+//     computation with the request/response phases.
+//   - Resilience strategies: none, synchronous replication (blocking,
+//     one replica at a time), asynchronous replication (overlapped
+//     replica writes), and online Reed-Solomon erasure coding with the
+//     four placement schemes from Section IV-B — Era-CE-CD, Era-SE-SD,
+//     Era-SE-CD and Era-CE-SD — plus the hybrid replication/EC policy
+//     sketched in the paper's future work.
+//   - Degraded reads: any K of the K+M chunks reconstruct a value, so
+//     up to M server failures are tolerated.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ecstore/internal/stats"
+	"ecstore/internal/transport"
+)
+
+// Resilience selects the fault-tolerance mechanism.
+type Resilience int
+
+// Resilience modes.
+const (
+	// ResilienceNone stores a single copy (the Memc-*-NoRep baselines).
+	ResilienceNone Resilience = iota + 1
+	// ResilienceSyncRep writes F replicas one at a time with blocking
+	// round trips (Sync-Rep in the paper).
+	ResilienceSyncRep
+	// ResilienceAsyncRep writes F replicas with overlapped
+	// non-blocking requests (Async-Rep).
+	ResilienceAsyncRep
+	// ResilienceErasure uses online RS(K,M) erasure coding with the
+	// configured Scheme.
+	ResilienceErasure
+	// ResilienceHybrid replicates small values and erasure-codes
+	// large ones (the paper's future-work hybrid policy).
+	ResilienceHybrid
+)
+
+// String returns the mode mnemonic.
+func (r Resilience) String() string {
+	switch r {
+	case ResilienceNone:
+		return "none"
+	case ResilienceSyncRep:
+		return "sync-rep"
+	case ResilienceAsyncRep:
+		return "async-rep"
+	case ResilienceErasure:
+		return "erasure"
+	case ResilienceHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("resilience(%d)", int(r))
+	}
+}
+
+// Scheme selects where erasure encoding and decoding run
+// (Section IV-B's design choices).
+type Scheme int
+
+// Erasure-coding placement schemes.
+const (
+	// SchemeCECD encodes and decodes at the client (Era-CE-CD).
+	SchemeCECD Scheme = iota + 1
+	// SchemeSESD encodes and decodes at the server (Era-SE-SD).
+	SchemeSESD
+	// SchemeSECD encodes at the server, decodes at the client
+	// (Era-SE-CD).
+	SchemeSECD
+	// SchemeCESD encodes at the client, decodes at the server
+	// (Era-CE-SD). The paper argues this hybrid is the least
+	// favourable; it is implemented for completeness.
+	SchemeCESD
+)
+
+// String returns the scheme mnemonic.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCECD:
+		return "era-ce-cd"
+	case SchemeSESD:
+		return "era-se-sd"
+	case SchemeSECD:
+		return "era-se-cd"
+	case SchemeCESD:
+		return "era-ce-sd"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Defaults mirroring the paper's evaluation setup.
+const (
+	// DefaultReplicas is the paper's three-way replication factor.
+	DefaultReplicas = 3
+	// DefaultK and DefaultM are the paper's RS(3,2) on a 5-node
+	// cluster.
+	DefaultK = 3
+	// DefaultM is the parity count of RS(3,2).
+	DefaultM = 2
+	// DefaultWindow is the ARPE send/receive window: the maximum
+	// number of in-flight non-blocking operations.
+	DefaultWindow = 64
+	// DefaultHybridThreshold is the value size at which the hybrid
+	// policy switches from replication to erasure coding.
+	DefaultHybridThreshold = 16 << 10
+)
+
+// Config configures a Client.
+type Config struct {
+	// Network is the transport to dial servers through.
+	Network transport.Network
+	// Servers lists the server addresses. Order does not matter;
+	// placement comes from consistent hashing, so every client and
+	// server sharing the list agrees.
+	Servers []string
+	// Resilience selects the fault-tolerance mechanism
+	// (ResilienceNone if unset).
+	Resilience Resilience
+	// Replicas is the replication factor F (DefaultReplicas if zero).
+	Replicas int
+	// K and M are the erasure-coding parameters (RS(3,2) if zero).
+	K, M int
+	// Scheme selects the EC placement scheme (SchemeCECD if unset).
+	Scheme Scheme
+	// Window bounds in-flight non-blocking operations
+	// (DefaultWindow if zero).
+	Window int
+	// HybridThreshold is the hybrid policy's size cutover
+	// (DefaultHybridThreshold if zero).
+	HybridThreshold int
+	// Instrument, when non-nil, receives the per-op phase breakdown
+	// (encode / request / wait-response) used by Figure 9.
+	Instrument *stats.Breakdown
+}
+
+// withDefaults validates cfg and fills defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Network == nil {
+		return cfg, errors.New("core: Config.Network is required")
+	}
+	if len(cfg.Servers) == 0 {
+		return cfg, errors.New("core: Config.Servers is empty")
+	}
+	if cfg.Resilience == 0 {
+		cfg.Resilience = ResilienceNone
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.K <= 0 {
+		cfg.K = DefaultK
+	}
+	if cfg.M <= 0 {
+		cfg.M = DefaultM
+	}
+	if cfg.Scheme == 0 {
+		cfg.Scheme = SchemeCECD
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.HybridThreshold <= 0 {
+		cfg.HybridThreshold = DefaultHybridThreshold
+	}
+	if cfg.K+cfg.M > 256 {
+		return cfg, fmt.Errorf("core: K+M too large (%d)", cfg.K+cfg.M)
+	}
+	if cfg.Replicas > len(cfg.Servers) {
+		return cfg, fmt.Errorf("core: %d replicas need at least that many servers (have %d)",
+			cfg.Replicas, len(cfg.Servers))
+	}
+	return cfg, nil
+}

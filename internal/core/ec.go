@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// ecStrategy implements online Reed-Solomon erasure coding with the
+// four client/server encode/decode placements of Section IV-B.
+type ecStrategy struct {
+	c      *Client
+	code   erasure.Code
+	k, m   int
+	scheme Scheme
+}
+
+var _ strategy = (*ecStrategy)(nil)
+
+func newECStrategy(c *Client) (*ecStrategy, error) {
+	code, err := erasure.NewRSVan(c.cfg.K, c.cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	return &ecStrategy{
+		c:      c,
+		code:   code,
+		k:      c.cfg.K,
+		m:      c.cfg.M,
+		scheme: c.cfg.Scheme,
+	}, nil
+}
+
+func (e *ecStrategy) clientEncodes() bool {
+	return e.scheme == SchemeCECD || e.scheme == SchemeCESD
+}
+
+func (e *ecStrategy) clientDecodes() bool {
+	return e.scheme == SchemeCECD || e.scheme == SchemeSECD
+}
+
+func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
+	n := e.k + e.m
+	placement := e.c.placement(key, n)
+	if placement == nil {
+		return ErrUnavailable
+	}
+	if !e.clientEncodes() {
+		return e.serverEncodeSet(key, value, ttl, placement)
+	}
+
+	// Client-side encode: split, compute parity, distribute all K+M
+	// chunks with non-blocking writes (Equation 7: T_encode + max over
+	// chunks of (L + D/(B·K))).
+	start := time.Now()
+	shards := erasure.Split(value, e.k, e.m)
+	if err := e.code.Encode(shards); err != nil {
+		return err
+	}
+	encoded := time.Now()
+	e.c.instrument("encode-decode", encoded.Sub(start))
+
+	meta := wire.ECMeta{
+		K:        uint8(e.k),
+		M:        uint8(e.m),
+		TotalLen: uint32(len(value)),
+		Stripe:   wire.NewStripeID(),
+	}
+	calls := make([]*rpc.Call, 0, n)
+	for i, addr := range placement {
+		cm := meta
+		cm.ChunkIndex = uint8(i)
+		call, err := e.c.pool.Send(addr, &wire.Request{
+			Op:         wire.OpSetChunk,
+			Key:        wire.ChunkKey(key, i),
+			Value:      wire.EncodeChunkPayload(cm, shards[i]),
+			TTLSeconds: uint32(ttl / time.Second),
+			Meta:       cm,
+		})
+		if err != nil {
+			return fmt.Errorf("chunk %d to %s: %w", i, addr, err)
+		}
+		calls = append(calls, call)
+	}
+	issued := time.Now()
+	e.c.instrument("request", issued.Sub(encoded))
+	for i, call := range calls {
+		resp, err := call.Wait()
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			return fmt.Errorf("chunk %d write: %w", i, err)
+		}
+	}
+	e.c.instrument("wait-response", time.Since(issued))
+	e.c.instrumentOp()
+	return nil
+}
+
+// serverEncodeSet sends the whole value to the primary, which encodes
+// and distributes the chunks itself (Era-SE-*). If the primary is
+// down, the next server in the placement takes over as coordinator.
+func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration, placement []string) error {
+	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m), TotalLen: uint32(len(value))}
+	start := time.Now()
+	defer func() {
+		e.c.instrument("wait-response", time.Since(start))
+		e.c.instrumentOp()
+	}()
+	var lastErr error
+	for _, addr := range distinct(placement) {
+		_, err := e.c.pool.Roundtrip(addr, &wire.Request{
+			Op: wire.OpEncodeSet, Key: key, Value: value,
+			TTLSeconds: uint32(ttl / time.Second), Meta: meta,
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, rpc.ErrServerDown) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+func (e *ecStrategy) get(key string) ([]byte, error) {
+	n := e.k + e.m
+	placement := e.c.placement(key, n)
+	if placement == nil {
+		return nil, ErrUnavailable
+	}
+	if !e.clientDecodes() {
+		return e.serverDecodeGet(key, placement)
+	}
+
+	// Client-side decode: aggregate chunks (data first, parity on
+	// failure) grouped by stripe so concurrent writes never produce a
+	// torn value, then reconstruct if needed (Equation 8).
+	start := time.Now()
+	collector := wire.NewChunkCollector(e.k, n)
+	notFound := 0
+
+	fetch := func(lo, hi int) {
+		calls := make(map[int]*rpc.Call, hi-lo)
+		for i := lo; i < hi; i++ {
+			call, err := e.c.pool.Send(placement[i], &wire.Request{
+				Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+			})
+			if err != nil {
+				continue // server down; parity will cover it
+			}
+			calls[i] = call
+		}
+		for _, call := range calls {
+			resp, err := call.Wait()
+			if err != nil {
+				continue
+			}
+			if respErr := resp.Err(); respErr != nil {
+				if errors.Is(respErr, wire.ErrNotFound) {
+					notFound++
+				}
+				continue
+			}
+			meta, chunk, err := wire.DecodeChunkPayload(resp.Value)
+			if err != nil {
+				continue // corrupt or torn chunk: parity covers it
+			}
+			collector.Add(meta, chunk)
+		}
+	}
+
+	fetch(0, e.k)
+	if !collector.Decodable() {
+		fetch(e.k, n)
+	}
+	gathered := time.Now()
+	e.c.instrument("wait-response", gathered.Sub(start))
+	_, totalLen, chunks, ok := collector.Best()
+	if !ok {
+		e.c.instrumentOp()
+		if notFound > 0 && collector.Seen() == 0 {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("%w: no stripe of %q has %d chunks available", ErrUnavailable, key, e.k)
+	}
+
+	needsDecode := false
+	for i := 0; i < e.k; i++ {
+		if chunks[i] == nil {
+			needsDecode = true
+			break
+		}
+	}
+	if needsDecode {
+		if err := e.code.Reconstruct(chunks); err != nil {
+			return nil, err
+		}
+	}
+	value, err := erasure.Join(chunks, e.k, int(totalLen))
+	e.c.instrument("encode-decode", time.Since(gathered))
+	e.c.instrumentOp()
+	if err != nil {
+		return nil, err
+	}
+	return value, nil
+}
+
+// serverDecodeGet asks the primary to aggregate and decode
+// (Era-*-SD), falling over to the next placement server if it is down.
+func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, error) {
+	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m)}
+	start := time.Now()
+	defer func() {
+		e.c.instrument("wait-response", time.Since(start))
+		e.c.instrumentOp()
+	}()
+	var lastErr error
+	for _, addr := range distinct(placement) {
+		resp, err := e.c.pool.Roundtrip(addr, &wire.Request{
+			Op: wire.OpDecodeGet, Key: key, Meta: meta,
+		})
+		switch {
+		case err == nil:
+			return resp.Value, nil
+		case errors.Is(err, wire.ErrNotFound):
+			return nil, ErrNotFound
+		case errors.Is(err, rpc.ErrServerDown):
+			lastErr = err
+			continue
+		default:
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+func (e *ecStrategy) del(key string) error {
+	n := e.k + e.m
+	placement := e.c.placement(key, n)
+	if placement == nil {
+		return ErrUnavailable
+	}
+	calls := make([]*rpc.Call, 0, n)
+	for i, addr := range placement {
+		call, err := e.c.pool.Send(addr, &wire.Request{
+			Op: wire.OpDelete, Key: wire.ChunkKey(key, i),
+		})
+		if err != nil {
+			continue
+		}
+		calls = append(calls, call)
+	}
+	if len(calls) == 0 {
+		return ErrUnavailable
+	}
+	deleted := 0
+	for _, call := range calls {
+		resp, err := call.Wait()
+		if err != nil {
+			continue
+		}
+		respErr := resp.Err()
+		switch {
+		case respErr == nil:
+			deleted++
+		case errors.Is(respErr, wire.ErrNotFound):
+			// absent chunk: fine
+		default:
+			return respErr
+		}
+	}
+	if deleted == 0 {
+		// Every reachable location answered authoritatively: the key
+		// does not exist (memcached delete semantics).
+		return ErrNotFound
+	}
+	return nil
+}
+
+// hybridStrategy is the paper's future-work policy: replicate small
+// values (replication reads are one cheap round trip), erasure-code
+// large ones (where EC's bandwidth and memory savings dominate).
+type hybridStrategy struct {
+	rep       *repStrategy
+	ec        *ecStrategy
+	threshold int
+}
+
+var _ strategy = (*hybridStrategy)(nil)
+
+func (h *hybridStrategy) set(key string, value []byte, ttl time.Duration) error {
+	if len(value) < h.threshold {
+		return h.rep.set(key, value, ttl)
+	}
+	return h.ec.set(key, value, ttl)
+}
+
+func (h *hybridStrategy) get(key string) ([]byte, error) {
+	// The write-side size is unknown at read time: probe the cheap
+	// replicated form first, then the erasure-coded form.
+	v, err := h.rep.get(key)
+	if err == nil {
+		return v, nil
+	}
+	if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrUnavailable) {
+		return nil, err
+	}
+	return h.ec.get(key)
+}
+
+func (h *hybridStrategy) del(key string) error {
+	repErr := h.rep.del(key)
+	ecErr := h.ec.del(key)
+	if repErr != nil && ecErr != nil {
+		return repErr
+	}
+	return nil
+}
+
+// distinct returns addrs with duplicates (from wrapped placements on
+// small clusters) removed, preserving order.
+func distinct(addrs []string) []string {
+	seen := make(map[string]bool, len(addrs))
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

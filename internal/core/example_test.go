@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+)
+
+// The full lifecycle: an erasure-coded store that survives two server
+// failures.
+func ExampleClient() {
+	cl, err := cluster.Start(cluster.Config{N: 5})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	client, err := core.New(core.Config{
+		Network:    cl.Network(),
+		Servers:    cl.Addrs(),
+		Resilience: core.ResilienceErasure,
+		Scheme:     core.SchemeCECD,
+		K:          3,
+		M:          2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	if err := client.Set("greeting", []byte("hello, resilient world")); err != nil {
+		panic(err)
+	}
+	cl.Kill(0)
+	cl.Kill(1)
+	v, err := client.Get("greeting")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(v))
+	// Output: hello, resilient world
+}
+
+// Non-blocking pipelining with futures (memcached_iset/iget/wait).
+func ExampleClient_iSet() {
+	cl, err := cluster.Start(cluster.Config{N: 5})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+	client, err := core.New(core.Config{
+		Network:    cl.Network(),
+		Servers:    cl.Addrs(),
+		Resilience: core.ResilienceErasure,
+		K:          3, M: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	// Issue eight writes without waiting, then wait once.
+	futures := make([]*core.Future, 8)
+	for i := range futures {
+		futures[i] = client.ISet(fmt.Sprintf("item-%d", i), []byte("v"))
+	}
+	if err := core.WaitAll(futures...); err != nil {
+		panic(err)
+	}
+	fmt.Println("all writes durable")
+	// Output: all writes durable
+}

@@ -1,0 +1,54 @@
+package core
+
+// Future is the completion handle returned by the non-blocking APIs,
+// the analogue of the request token consumed by memcached_wait and
+// memcached_test in the RDMA-Libmemcached design.
+type Future struct {
+	done  chan struct{}
+	value []byte
+	err   error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// Wait blocks until the operation completes and returns its value
+// (non-nil only for Get operations) and error — the memcached_wait
+// analogue.
+func (f *Future) Wait() ([]byte, error) {
+	<-f.done
+	return f.value, f.err
+}
+
+// Test reports without blocking whether the operation has completed —
+// the memcached_test analogue.
+func (f *Future) Test() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns a channel closed on completion, for select loops.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+func (f *Future) complete(value []byte, err error) {
+	f.value, f.err = value, err
+	close(f.done)
+}
+
+// WaitAll waits for every future and returns the first error
+// encountered (all futures are waited regardless).
+func WaitAll(futures ...*Future) error {
+	var first error
+	for _, f := range futures {
+		if f == nil {
+			continue
+		}
+		if _, err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/transport"
+)
+
+// startShapedCluster builds a cluster over a latency/bandwidth-shaped
+// in-process network, exercising the stack under realistic timing.
+func startShapedCluster(t *testing.T, shape transport.Shape) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.Start(cluster.Config{
+		N:       5,
+		Network: transport.NewInproc(shape),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestCorrectnessUnderLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	cl := startShapedCluster(t, transport.Shape{Latency: 2 * time.Millisecond})
+	for name, cfg := range map[string]core.Config{
+		"era-ce-cd": {Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2},
+		"era-se-sd": {Resilience: core.ResilienceErasure, Scheme: core.SchemeSESD, K: 3, M: 2},
+		"async-rep": {Resilience: core.ResilienceAsyncRep, Replicas: 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := newClient(t, cl, cfg)
+			value := bytes.Repeat([]byte("z"), 10_000)
+			if err := c.Set("slow-"+name, value); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Get("slow-" + name)
+			if err != nil || !bytes.Equal(got, value) {
+				t.Fatalf("get: %v", err)
+			}
+		})
+	}
+}
+
+func TestNonBlockingOverlapUnderLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	const rtt = 5 * time.Millisecond
+	cl := startShapedCluster(t, transport.Shape{Latency: rtt / 2})
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2, Window: 32,
+	})
+	// 16 non-blocking writes over a 5ms-RTT network: sequential
+	// execution would need >= 16 RTTs; overlapped execution should
+	// take a small multiple of one RTT.
+	const ops = 16
+	start := time.Now()
+	futures := make([]*core.Future, ops)
+	for i := range futures {
+		futures[i] = c.ISet(fmt.Sprintf("nb-%d", i), []byte("value"))
+	}
+	issueTime := time.Since(start)
+	if err := core.WaitAll(futures...); err != nil {
+		t.Fatal(err)
+	}
+	total := time.Since(start)
+	if issueTime > rtt {
+		t.Fatalf("issuing %d non-blocking ops took %v; must not wait for round trips", ops, issueTime)
+	}
+	if total > time.Duration(ops)*rtt/2 {
+		t.Fatalf("%d overlapped ops took %v; sequential would be %v — no overlap happened",
+			ops, total, time.Duration(ops)*rtt)
+	}
+}
+
+func TestWindowBackpressure(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceNone, Window: 2})
+	// With Window=2 the third ISet may block until a slot frees; all
+	// operations must still complete correctly.
+	futures := make([]*core.Future, 50)
+	for i := range futures {
+		futures[i] = c.ISet(fmt.Sprintf("bp-%d", i), []byte("v"))
+	}
+	if err := core.WaitAll(futures...); err != nil {
+		t.Fatal(err)
+	}
+	for i := range futures {
+		if _, err := c.Get(fmt.Sprintf("bp-%d", i)); err != nil {
+			t.Fatalf("key %d missing after backpressured writes: %v", i, err)
+		}
+	}
+}
+
+func TestBandwidthShapedLargeValue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	// 50 MB/s links: a 512 KB EC write moves ~850 KB total.
+	cl := startShapedCluster(t, transport.Shape{BytesPerSec: 50 << 20})
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	value := bytes.Repeat([]byte("b"), 512<<10)
+	if err := c.Set("big", value); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("big")
+	if err != nil || !bytes.Equal(got, value) {
+		t.Fatalf("get: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// repStrategy implements no-replication (replicas = 1), synchronous
+// replication (blocking round trips, one replica at a time) and
+// asynchronous replication (overlapped non-blocking replica writes).
+type repStrategy struct {
+	c        *Client
+	replicas int
+	async    bool
+}
+
+var _ strategy = (*repStrategy)(nil)
+
+func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
+	ttlSecs := uint32(ttl / time.Second)
+	placement := r.c.placement(key, r.replicas)
+	if placement == nil {
+		return ErrUnavailable
+	}
+	if !r.async {
+		// Sync-Rep: each replica write is a full blocking round trip
+		// (Equation 2: F * (L + D/B)).
+		for _, addr := range placement {
+			start := time.Now()
+			if _, err := r.c.pool.Roundtrip(addr, &wire.Request{
+				Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
+			}); err != nil {
+				return err
+			}
+			r.c.instrument("wait-response", time.Since(start))
+		}
+		r.c.instrumentOp()
+		return nil
+	}
+	// Async-Rep: issue every replica write, then wait for all
+	// (Equation 6: max over replicas of (L + D/B)).
+	start := time.Now()
+	calls := make([]*rpc.Call, 0, len(placement))
+	for _, addr := range placement {
+		call, err := r.c.pool.Send(addr, &wire.Request{
+			Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
+		})
+		if err != nil {
+			return err
+		}
+		calls = append(calls, call)
+	}
+	issued := time.Now()
+	r.c.instrument("request", issued.Sub(start))
+	for _, call := range calls {
+		resp, err := call.Wait()
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	r.c.instrument("wait-response", time.Since(issued))
+	r.c.instrumentOp()
+	return nil
+}
+
+func (r *repStrategy) get(key string) ([]byte, error) {
+	placement := r.c.placement(key, r.replicas)
+	if placement == nil {
+		return nil, ErrUnavailable
+	}
+	start := time.Now()
+	defer func() {
+		r.c.instrument("wait-response", time.Since(start))
+		r.c.instrumentOp()
+	}()
+	// Read from the designated primary; walk the replicas only when a
+	// server has failed (Equation 4's T_check + one round trip).
+	var lastErr error
+	for _, addr := range placement {
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
+		switch {
+		case err == nil:
+			return resp.Value, nil
+		case errors.Is(err, wire.ErrNotFound):
+			// A live server answered authoritatively: the key is gone
+			// (memcached semantics — evictions are cache misses).
+			return nil, ErrNotFound
+		case errors.Is(err, rpc.ErrServerDown):
+			lastErr = err
+			continue
+		default:
+			return nil, err
+		}
+	}
+	if lastErr != nil {
+		return nil, ErrUnavailable
+	}
+	return nil, ErrNotFound
+}
+
+func (r *repStrategy) del(key string) error {
+	placement := r.c.placement(key, r.replicas)
+	if placement == nil {
+		return ErrUnavailable
+	}
+	anyLive := false
+	deleted := 0
+	for _, addr := range placement {
+		_, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: key})
+		switch {
+		case err == nil:
+			anyLive = true
+			deleted++
+		case errors.Is(err, wire.ErrNotFound):
+			anyLive = true
+		}
+	}
+	if !anyLive {
+		return ErrUnavailable
+	}
+	if deleted == 0 {
+		// Every reachable replica said not-found (memcached delete
+		// semantics).
+		return ErrNotFound
+	}
+	return nil
+}
+
+// instrument records a phase duration when instrumentation is enabled.
+func (c *Client) instrument(phase string, d time.Duration) {
+	if c.cfg.Instrument != nil {
+		c.cfg.Instrument.Add(phase, d)
+	}
+}
+
+func (c *Client) instrumentOp() {
+	if c.cfg.Instrument != nil {
+		c.cfg.Instrument.AddOp()
+	}
+}

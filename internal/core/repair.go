@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// RepairReport describes what Repair did for one key.
+type RepairReport struct {
+	// Checked is the number of chunk/replica locations probed.
+	Checked int
+	// Missing is how many were absent or unreachable before repair.
+	Missing int
+	// Rewritten is how many were restored.
+	Rewritten int
+}
+
+// Healthy reports whether the key had full redundancy already.
+func (r RepairReport) Healthy() bool { return r.Missing == 0 }
+
+// String renders the report on one line.
+func (r RepairReport) String() string {
+	return fmt.Sprintf("checked=%d missing=%d rewritten=%d", r.Checked, r.Missing, r.Rewritten)
+}
+
+// repairer is implemented by strategies that can restore redundancy.
+type repairer interface {
+	repair(key string) (RepairReport, error)
+}
+
+// Repair restores full redundancy for key: it probes every chunk or
+// replica location, reconstructs lost chunks from the survivors (or
+// re-reads the value from a live replica), and rewrites whatever is
+// missing. It addresses the paper's future-work item of recovering
+// redundancy after node failures — a crashed-and-restarted server
+// comes back empty, leaving stripes degraded until repaired.
+//
+// Repair returns ErrUnavailable when too few chunks survive to
+// reconstruct, and ErrNotFound when no trace of the key exists.
+func (c *Client) Repair(key string) (RepairReport, error) {
+	r, ok := c.strat.(repairer)
+	if !ok {
+		return RepairReport{}, fmt.Errorf("core: resilience mode %v does not support repair", c.cfg.Resilience)
+	}
+	return r.repair(key)
+}
+
+// IRepair is the non-blocking form of Repair; the Future's value is
+// nil and its error is the repair error.
+func (c *Client) IRepair(key string) *Future {
+	f := newFuture()
+	return c.submit(f, func() ([]byte, error) {
+		_, err := c.Repair(key)
+		return nil, err
+	})
+}
+
+// repair for replication: find a live copy, then rewrite the replicas
+// that are missing.
+func (r *repStrategy) repair(key string) (RepairReport, error) {
+	placement := r.c.placement(key, r.replicas)
+	if placement == nil {
+		return RepairReport{}, ErrUnavailable
+	}
+	report := RepairReport{Checked: len(placement)}
+	var value []byte
+	found := false
+	notFound := 0
+	missing := make([]string, 0, len(placement))
+	for _, addr := range placement {
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
+		if err == nil {
+			if !found {
+				value = resp.Value
+				found = true
+			}
+			continue
+		}
+		if errors.Is(err, wire.ErrNotFound) {
+			notFound++
+		}
+		missing = append(missing, addr)
+	}
+	report.Missing = len(missing)
+	if !found {
+		if notFound == len(placement) {
+			// Every location is live and authoritatively empty.
+			return report, ErrNotFound
+		}
+		return report, fmt.Errorf("%w: no live replica of %q", ErrUnavailable, key)
+	}
+	for _, addr := range missing {
+		if _, err := r.c.pool.Roundtrip(addr, &wire.Request{
+			Op: wire.OpSet, Key: key, Value: value,
+		}); err != nil {
+			continue // replica still down; rewrite what we can
+		}
+		report.Rewritten++
+	}
+	return report, nil
+}
+
+// repair for erasure coding: probe all K+M chunk locations,
+// reconstruct the lost chunks from any K survivors, and rewrite them.
+func (e *ecStrategy) repair(key string) (RepairReport, error) {
+	n := e.k + e.m
+	placement := e.c.placement(key, n)
+	if placement == nil {
+		return RepairReport{}, ErrUnavailable
+	}
+	report := RepairReport{Checked: n}
+
+	collector := wire.NewChunkCollector(e.k, n)
+	notFound := 0
+	calls := make(map[int]*rpc.Call, n)
+	for i := 0; i < n; i++ {
+		call, err := e.c.pool.Send(placement[i], &wire.Request{
+			Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+		})
+		if err != nil {
+			continue
+		}
+		calls[i] = call
+	}
+	for _, call := range calls {
+		resp, err := call.Wait()
+		if err != nil {
+			continue
+		}
+		if respErr := resp.Err(); respErr != nil {
+			if errors.Is(respErr, wire.ErrNotFound) {
+				notFound++
+			}
+			continue
+		}
+		m, chunk, err := wire.DecodeChunkPayload(resp.Value)
+		if err != nil {
+			continue // corrupt chunk: rebuild it below
+		}
+		collector.Add(m, chunk)
+	}
+	stripe, totalLen, chunks, ok := collector.Best()
+	if !ok {
+		if collector.Seen() == 0 && notFound == n {
+			return report, ErrNotFound
+		}
+		have := collector.Seen()
+		if have == 0 {
+			return report, ErrUnavailable
+		}
+		return report, fmt.Errorf("%w: no stripe of %q has %d chunks", ErrUnavailable, key, e.k)
+	}
+	// Everything not holding the winning stripe's chunk — lost,
+	// corrupt, or from a superseded write — gets rewritten.
+	missing := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if chunks[i] == nil {
+			missing = append(missing, i)
+		}
+	}
+	report.Missing = len(missing)
+	if report.Missing == 0 {
+		return report, nil
+	}
+	if err := e.code.Reconstruct(chunks); err != nil {
+		return report, err
+	}
+	for _, i := range missing {
+		cm := wire.ECMeta{
+			ChunkIndex: uint8(i),
+			K:          uint8(e.k),
+			M:          uint8(e.m),
+			TotalLen:   totalLen,
+			Stripe:     stripe,
+		}
+		if _, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
+			Op:    wire.OpSetChunk,
+			Key:   wire.ChunkKey(key, i),
+			Value: wire.EncodeChunkPayload(cm, chunks[i]),
+			Meta:  cm,
+		}); err != nil {
+			continue // holder still down; partial repair
+		}
+		report.Rewritten++
+	}
+	return report, nil
+}
+
+// Verify scrubs one erasure-coded key: it fetches every chunk and
+// checks that the stored parity is consistent with the data chunks,
+// detecting silent corruption (not just loss). It returns true when
+// all K+M chunks are present and consistent. Only the erasure modes
+// support verification; replication has no parity to check.
+func (c *Client) Verify(key string) (bool, error) {
+	type verifier interface {
+		verify(key string) (bool, error)
+	}
+	v, ok := c.strat.(verifier)
+	if !ok {
+		return false, fmt.Errorf("core: resilience mode %v does not support verify", c.cfg.Resilience)
+	}
+	return v.verify(key)
+}
+
+func (e *ecStrategy) verify(key string) (bool, error) {
+	n := e.k + e.m
+	placement := e.c.placement(key, n)
+	if placement == nil {
+		return false, ErrUnavailable
+	}
+	chunks := make([][]byte, n)
+	stripes := make([]uint64, n)
+	notFound, have := 0, 0
+	for i := 0; i < n; i++ {
+		resp, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
+			Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+		})
+		switch {
+		case err == nil:
+			if m, chunk, derr := wire.DecodeChunkPayload(resp.Value); derr == nil {
+				chunks[i] = chunk
+				stripes[i] = m.Stripe
+				have++
+			}
+		case errors.Is(err, wire.ErrNotFound):
+			notFound++
+		case errors.Is(err, rpc.ErrServerDown):
+			// Unreachable chunk: cannot attest full consistency.
+		default:
+			return false, err
+		}
+	}
+	if notFound == n {
+		return false, ErrNotFound
+	}
+	if have < n {
+		return false, nil // incomplete stripe is not verified
+	}
+	for i := 1; i < n; i++ {
+		if stripes[i] != stripes[0] {
+			return false, nil // mixed writes: needs repair
+		}
+	}
+	return e.code.Verify(chunks)
+}
+
+func (h *hybridStrategy) verify(key string) (bool, error) {
+	ok, err := h.ec.verify(key)
+	if errors.Is(err, ErrNotFound) {
+		// Small values are replicated; report healthy if a replica
+		// answers (byte-level parity does not apply).
+		if _, gerr := h.rep.get(key); gerr == nil {
+			return true, nil
+		}
+		return false, err
+	}
+	return ok, err
+}
+
+// repair for the hybrid policy: repair whichever representation
+// exists.
+func (h *hybridStrategy) repair(key string) (RepairReport, error) {
+	repReport, repErr := h.rep.repair(key)
+	if repErr == nil {
+		return repReport, nil
+	}
+	ecReport, ecErr := h.ec.repair(key)
+	if ecErr == nil {
+		return ecReport, nil
+	}
+	if errors.Is(repErr, ErrNotFound) && errors.Is(ecErr, ErrNotFound) {
+		return ecReport, ErrNotFound
+	}
+	return ecReport, ecErr
+}

@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ecstore/internal/core"
+)
+
+func TestRepairHealthyStripe(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	if err := c.Set("k", bytes.Repeat([]byte("x"), 5000)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Repair("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Healthy() || report.Checked != 5 || report.Rewritten != 0 {
+		t.Fatalf("report %+v for healthy stripe", report)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestRepairAfterRestartErasure(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	value := bytes.Repeat([]byte("payload"), 3000)
+	if err := c.Set("k", value); err != nil {
+		t.Fatal(err)
+	}
+	// Two servers crash and come back empty: the stripe is degraded
+	// but readable.
+	cl.Kill(0)
+	cl.Kill(3)
+	if err := cl.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Repair("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Missing == 0 || report.Rewritten != report.Missing {
+		t.Fatalf("report %+v, want all missing chunks rewritten", report)
+	}
+	// The stripe is whole again: kill the two servers that NEVER
+	// lost data; the repaired chunks alone must now carry the value.
+	cl.Kill(1)
+	cl.Kill(2)
+	got, err := c.Get("k")
+	if err != nil {
+		t.Fatalf("read after repair with original survivors gone: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("repaired data differs")
+	}
+}
+
+func TestRepairTooManyFailures(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	if err := c.Set("k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Kill(0)
+	cl.Kill(1)
+	cl.Kill(2)
+	if _, err := c.Repair("k"); !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRepairMissingKey(t *testing.T) {
+	cl := startCluster(t, 5)
+	for name, cfg := range map[string]core.Config{
+		"erasure":   {Resilience: core.ResilienceErasure, K: 3, M: 2},
+		"async-rep": {Resilience: core.ResilienceAsyncRep, Replicas: 3},
+		"hybrid":    {Resilience: core.ResilienceHybrid, Replicas: 3, K: 3, M: 2},
+	} {
+		c := newClient(t, cl, cfg)
+		if _, err := c.Repair("no-such-key-" + name); !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("%s: got %v, want ErrNotFound", name, err)
+		}
+	}
+}
+
+func TestRepairReplication(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceAsyncRep, Replicas: 3})
+	value := []byte("replicated-value")
+	if err := c.Set("k", value); err != nil {
+		t.Fatal(err)
+	}
+	cl.Kill(0) // may or may not hold a replica of "k"
+	if err := cl.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Repair("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rewritten != report.Missing {
+		t.Fatalf("report %+v", report)
+	}
+	// All three replicas must exist now: total stored copies == 3.
+	copies := 0
+	for i := 0; i < 5; i++ {
+		if _, ok := cl.Server(i).Store().Get("k"); ok {
+			copies++
+		}
+	}
+	if copies != 3 {
+		t.Fatalf("%d replicas after repair, want 3", copies)
+	}
+}
+
+func TestRepairHybrid(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceHybrid, Replicas: 3, K: 3, M: 2, HybridThreshold: 1024,
+	})
+	if err := c.Set("small", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("large", bytes.Repeat([]byte("L"), 8000)); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"small", "large"} {
+		if _, err := c.Repair(key); err != nil {
+			t.Fatalf("repair %s: %v", key, err)
+		}
+	}
+}
+
+func TestIRepair(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	futures := make([]*core.Future, 0, 10)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := c.Set(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, c.IRepair(key))
+	}
+	if err := core.WaitAll(futures...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairPartialWhenServerStillDown(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	if err := c.Set("k", bytes.Repeat([]byte("d"), 4000)); err != nil {
+		t.Fatal(err)
+	}
+	cl.Kill(2) // stays down: its chunk cannot be rewritten in place
+	report, err := c.Repair("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Missing == 0 {
+		t.Fatal("no chunk reported missing with a server down")
+	}
+	if report.Rewritten >= report.Missing {
+		t.Fatalf("report %+v: cannot rewrite onto a dead server", report)
+	}
+}

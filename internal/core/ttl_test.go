@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ecstore/internal/core"
+)
+
+// TTL round-trips through the wire to the store. Server stores use
+// real time, so these tests use second-scale TTLs and only assert the
+// not-yet-expired and store-accounting behaviour (expiry mechanics are
+// unit-tested against a fake clock in internal/store).
+func TestSetTTLRoundTrip(t *testing.T) {
+	cl := startCluster(t, 5)
+	for name, cfg := range map[string]core.Config{
+		"none":      {Resilience: core.ResilienceNone},
+		"async-rep": {Resilience: core.ResilienceAsyncRep, Replicas: 3},
+		"era-ce-cd": {Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2},
+		"era-se-sd": {Resilience: core.ResilienceErasure, Scheme: core.SchemeSESD, K: 3, M: 2},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := newClient(t, cl, cfg)
+			if err := c.SetTTL("ttl-"+name, []byte("v"), time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := c.Get("ttl-" + name); err != nil || string(got) != "v" {
+				t.Fatalf("get before expiry: %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestSetTTLExpires(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	// 1s is the smallest wire-representable TTL.
+	if err := c.SetTTL("ephemeral", []byte("v"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("ephemeral"); err != nil {
+		t.Fatalf("get before expiry: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Get("ephemeral"); errors.Is(err, core.ErrNotFound) {
+			return // expired as expected
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("item did not expire within 5s of a 1s TTL")
+}
+
+func TestISetTTL(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceNone})
+	f := c.ISetTTL("k", []byte("v"), time.Hour)
+	if _, err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("get: %q, %v", got, err)
+	}
+}

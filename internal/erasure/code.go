@@ -1,0 +1,149 @@
+// Package erasure implements the maximum-distance-separable (MDS)
+// erasure codes studied in the paper's Jerasure comparison (Figure 4):
+// Reed-Solomon with a Vandermonde-derived generator (RSVan), Cauchy
+// Reed-Solomon executed as a GF(2) bit matrix (CauchyRS), and a RAID-6
+// bit-matrix code in the style of the Liberation/Liber8tion minimum
+// density codes (Liberation).
+//
+// All codes share the Code interface: a value is split into K equally
+// sized data chunks, M parity chunks are computed, and the original value
+// can be recovered from any K of the K+M chunks.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors shared across codes.
+var (
+	// ErrShardCount is returned when the slice passed to Encode,
+	// Reconstruct or Verify does not contain exactly K+M shards.
+	ErrShardCount = errors.New("erasure: wrong number of shards")
+	// ErrShardSize is returned when non-nil shards have unequal or
+	// invalid lengths.
+	ErrShardSize = errors.New("erasure: invalid shard size")
+	// ErrTooFewShards is returned by Reconstruct when fewer than K
+	// shards are present.
+	ErrTooFewShards = errors.New("erasure: too few shards to reconstruct")
+)
+
+// Code is an MDS erasure code with K data shards and M parity shards.
+//
+// Implementations are safe for concurrent use by multiple goroutines:
+// all mutable state is confined to the arguments.
+type Code interface {
+	// K returns the number of data shards.
+	K() int
+	// M returns the number of parity shards.
+	M() int
+	// Name returns a short identifier such as "rs-van".
+	Name() string
+	// Encode fills shards[K..K+M-1] (parity) from shards[0..K-1]
+	// (data). All K data shards must be non-nil and the same length;
+	// parity shards must be nil or already of the same length.
+	Encode(shards [][]byte) error
+	// Reconstruct fills every nil shard (data or parity) from the
+	// non-nil ones. At least K shards must be non-nil.
+	Reconstruct(shards [][]byte) error
+	// Verify reports whether the parity shards are consistent with the
+	// data shards.
+	Verify(shards [][]byte) (bool, error)
+}
+
+// checkShards validates the shard slice shape shared by every code.
+// It returns the shard size (from the first non-nil shard) and the count
+// of non-nil shards.
+func checkShards(shards [][]byte, k, m int, forEncode bool) (size, present int, err error) {
+	if len(shards) != k+m {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), k+m)
+	}
+	size = -1
+	for i, s := range shards {
+		if s == nil {
+			if forEncode && i < k {
+				return 0, 0, fmt.Errorf("%w: data shard %d is nil", ErrShardSize, i)
+			}
+			continue
+		}
+		present++
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, 0, fmt.Errorf("%w: shard %d has %d bytes, others %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, 0, fmt.Errorf("%w: no non-empty shards", ErrShardSize)
+	}
+	return size, present, nil
+}
+
+// ShardSize returns the per-shard size used to encode a value of
+// dataLen bytes across k data shards. Shards are padded up so that the
+// size is a multiple of align (bit-matrix codes need word-aligned
+// packets; pass 1 for none).
+func ShardSize(dataLen, k, align int) int {
+	per := (dataLen + k - 1) / k
+	if per == 0 {
+		per = 1
+	}
+	if r := per % align; r != 0 {
+		per += align - r
+	}
+	return per
+}
+
+// Split copies value into k data shards of equal size (padded with
+// zeros) followed by m nil parity slots, sized so that every code in
+// this package can operate on the result. The returned shards do not
+// alias value.
+func Split(value []byte, k, m int) [][]byte {
+	per := ShardSize(len(value), k, packetAlign)
+	shards := make([][]byte, k+m)
+	for i := 0; i < k; i++ {
+		shards[i] = make([]byte, per)
+		lo := i * per
+		if lo < len(value) {
+			hi := lo + per
+			if hi > len(value) {
+				hi = len(value)
+			}
+			copy(shards[i], value[lo:hi])
+		}
+	}
+	return shards
+}
+
+// Join concatenates the k data shards and truncates to dataLen,
+// reversing Split. It returns an error if any data shard is nil or the
+// shards cannot hold dataLen bytes.
+func Join(shards [][]byte, k, dataLen int) ([]byte, error) {
+	if len(shards) < k {
+		return nil, fmt.Errorf("%w: have %d shards, need %d", ErrTooFewShards, len(shards), k)
+	}
+	total := 0
+	for i := 0; i < k; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("erasure: data shard %d missing in Join", i)
+		}
+		total += len(shards[i])
+	}
+	if total < dataLen {
+		return nil, fmt.Errorf("%w: shards hold %d bytes, need %d", ErrShardSize, total, dataLen)
+	}
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < k && len(out) < dataLen; i++ {
+		need := dataLen - len(out)
+		s := shards[i]
+		if len(s) > need {
+			s = s[:need]
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// packetAlign is the shard-size alignment required by the bit-matrix
+// codes (w = 8 packets per shard, each a whole number of bytes).
+const packetAlign = 8

@@ -1,0 +1,197 @@
+package erasure
+
+import (
+	"fmt"
+
+	"ecstore/internal/gf256"
+)
+
+// RSVan is classic Reed-Solomon coding with a systematic generator
+// matrix derived from a Vandermonde matrix (Jerasure's reed_sol_van, the
+// scheme the paper selects as RS(K,M)). Encoding and decoding are dense
+// GF(2^8) matrix-vector products executed with split-table slice
+// kernels.
+type RSVan struct {
+	k, m int
+	// gen is the (k+m)×k systematic generator matrix: the top k rows
+	// are the identity, the bottom m rows produce parity.
+	gen *Matrix
+}
+
+var _ Code = (*RSVan)(nil)
+
+// NewRSVan constructs an RS(k, m) Vandermonde code. k and m must be
+// positive with k+m <= 256.
+func NewRSVan(k, m int) (*RSVan, error) {
+	if err := checkKM(k, m); err != nil {
+		return nil, err
+	}
+	v := Vandermonde(k+m, k)
+	top := v.SubMatrix(seq(0, k))
+	topInv, err := top.Invert()
+	if err != nil {
+		// Vandermonde square submatrices are always invertible.
+		return nil, fmt.Errorf("rs-van generator: %w", err)
+	}
+	return &RSVan{k: k, m: m, gen: v.Mul(topInv)}, nil
+}
+
+func checkKM(k, m int) error {
+	if k <= 0 || m <= 0 {
+		return fmt.Errorf("erasure: k and m must be positive (k=%d, m=%d)", k, m)
+	}
+	if k+m > 256 {
+		return fmt.Errorf("erasure: k+m must be <= 256 (k=%d, m=%d)", k, m)
+	}
+	return nil
+}
+
+func seq(lo, hi int) []int {
+	s := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+// K returns the number of data shards.
+func (r *RSVan) K() int { return r.k }
+
+// M returns the number of parity shards.
+func (r *RSVan) M() int { return r.m }
+
+// Name returns "rs-van".
+func (r *RSVan) Name() string { return "rs-van" }
+
+// Generator returns a copy of the systematic generator matrix, exposed
+// for tests and for the analytical model.
+func (r *RSVan) Generator() *Matrix { return r.gen.Clone() }
+
+// Encode computes the m parity shards from the k data shards.
+func (r *RSVan) Encode(shards [][]byte) error {
+	size, _, err := checkShards(shards, r.k, r.m, true)
+	if err != nil {
+		return err
+	}
+	for i := r.k; i < r.k+r.m; i++ {
+		if shards[i] == nil {
+			shards[i] = make([]byte, size)
+		} else {
+			clearSlice(shards[i])
+		}
+	}
+	for row := 0; row < r.m; row++ {
+		out := shards[r.k+row]
+		coeffs := r.gen.Row(r.k + row)
+		for c := 0; c < r.k; c++ {
+			gf256.MulAddSlice(coeffs[c], shards[c], out)
+		}
+	}
+	return nil
+}
+
+// Reconstruct recovers every nil shard from any k present shards.
+func (r *RSVan) Reconstruct(shards [][]byte) error {
+	size, present, err := checkShards(shards, r.k, r.m, false)
+	if err != nil {
+		return err
+	}
+	if present < r.k {
+		return fmt.Errorf("%w: have %d of %d", ErrTooFewShards, present, r.k)
+	}
+	missingData := false
+	for i := 0; i < r.k; i++ {
+		if shards[i] == nil {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		if err := r.reconstructData(shards, size); err != nil {
+			return err
+		}
+	}
+	// Recompute any missing parity directly from the (now complete)
+	// data shards.
+	for row := 0; row < r.m; row++ {
+		idx := r.k + row
+		if shards[idx] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		coeffs := r.gen.Row(idx)
+		for c := 0; c < r.k; c++ {
+			gf256.MulAddSlice(coeffs[c], shards[c], out)
+		}
+		shards[idx] = out
+	}
+	return nil
+}
+
+func (r *RSVan) reconstructData(shards [][]byte, size int) error {
+	// Pick the first k present shards and build the square decode
+	// matrix from their generator rows.
+	rows := make([]int, 0, r.k)
+	for i := 0; i < len(shards) && len(rows) < r.k; i++ {
+		if shards[i] != nil {
+			rows = append(rows, i)
+		}
+	}
+	dec, err := r.gen.SubMatrix(rows).Invert()
+	if err != nil {
+		return fmt.Errorf("rs-van decode: %w", err)
+	}
+	for d := 0; d < r.k; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		coeffs := dec.Row(d)
+		for j, src := range rows {
+			gf256.MulAddSlice(coeffs[j], shards[src], out)
+		}
+		shards[d] = out
+	}
+	return nil
+}
+
+// Verify recomputes parity and compares it with the stored parity.
+func (r *RSVan) Verify(shards [][]byte) (bool, error) {
+	size, _, err := checkShards(shards, r.k, r.m, true)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for row := 0; row < r.m; row++ {
+		if shards[r.k+row] == nil {
+			return false, nil
+		}
+		clearSlice(buf)
+		coeffs := r.gen.Row(r.k + row)
+		for c := 0; c < r.k; c++ {
+			gf256.MulAddSlice(coeffs[c], shards[c], buf)
+		}
+		if !equalBytes(buf, shards[r.k+row]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func clearSlice(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+// Package gf256 implements arithmetic over the Galois field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional choice for
+// Reed-Solomon storage codes (and the one used by Jerasure and ISA-L for
+// w = 8). Addition and subtraction are both XOR; multiplication and
+// division are performed through discrete log/antilog tables.
+//
+// The package also provides bulk slice kernels (MulSlice, MulAddSlice)
+// built on 4-bit split tables, the standard software technique for fast
+// GF(2^8) coding without SIMD intrinsics.
+package gf256
+
+import "fmt"
+
+// Poly is the primitive polynomial used to construct the field,
+// represented with the x^8 term included.
+const Poly = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var _tables = buildTables()
+
+// tables holds every precomputed lookup used by the package.
+type tables struct {
+	exp [510]byte      // exp[i] = α^i, doubled to avoid mod 255 in Mul
+	log [256]byte      // log[x] = i such that α^i = x (log[0] unused)
+	inv [256]byte      // inv[x] = x^-1 (inv[0] unused)
+	mul [256][256]byte // full multiplication table
+	low [256][16]byte  // low[c][n]  = c * n        (low nibble products)
+	hi  [256][16]byte  // hi[c][n]   = c * (n << 4) (high nibble products)
+}
+
+func buildTables() *tables {
+	t := &tables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 510; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		// α^(255 - log a) = a^-1 since α^255 = 1.
+		t.inv[a] = t.exp[255-int(t.log[a])]
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			t.mul[a][b] = slowMul(byte(a), byte(b))
+		}
+	}
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			t.low[c][n] = t.mul[c][n]
+			t.hi[c][n] = t.mul[c][n<<4]
+		}
+	}
+	return t
+}
+
+// slowMul multiplies two field elements with shift-and-add (Russian
+// peasant) reduction. It is used only to build the lookup tables.
+func slowMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a & 0x80
+		a <<= 1
+		if carry != 0 {
+			a ^= byte(Poly & 0xFF)
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8). Subtraction equals addition.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte { return _tables.mul[a][b] }
+
+// Div returns a / b in GF(2^8). It panics if b is zero, mirroring the
+// behaviour of integer division by zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return _tables.exp[int(_tables.log[a])+255-int(_tables.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return _tables.inv[a]
+}
+
+// Exp returns α^n where α = 2 is the field generator. n may be any
+// non-negative integer.
+func Exp(n int) byte {
+	if n < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", n))
+	}
+	return _tables.exp[n%255]
+}
+
+// Log returns the discrete logarithm of a to base α. It panics if a is
+// zero, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: zero has no logarithm")
+	}
+	return int(_tables.log[a])
+}
+
+// Pow returns a raised to the n-th power.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	logA := int(_tables.log[a])
+	return _tables.exp[(logA*n)%255]
+}
+
+// MulSlice computes out[i] = c * in[i] for every element. The two slices
+// must have equal length; out may alias in.
+func MulSlice(c byte, in, out []byte) {
+	if len(in) != len(out) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	case 1:
+		copy(out, in)
+		return
+	}
+	low, hi := &_tables.low[c], &_tables.hi[c]
+	for i, v := range in {
+		out[i] = low[v&0x0F] ^ hi[v>>4]
+	}
+}
+
+// MulAddSlice computes out[i] ^= c * in[i] for every element. The two
+// slices must have equal length. This is the inner kernel of matrix-based
+// erasure coding.
+func MulAddSlice(c byte, in, out []byte) {
+	if len(in) != len(out) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, v := range in {
+			out[i] ^= v
+		}
+		return
+	}
+	low, hi := &_tables.low[c], &_tables.hi[c]
+	for i, v := range in {
+		out[i] ^= low[v&0x0F] ^ hi[v>>4]
+	}
+}
+
+// AddSlice computes out[i] ^= in[i] for every element (the c = 1 case of
+// MulAddSlice, exported because XOR-only codes use it heavily).
+func AddSlice(in, out []byte) {
+	if len(in) != len(out) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	for i, v := range in {
+		out[i] ^= v
+	}
+}

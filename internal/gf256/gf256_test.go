@@ -1,0 +1,250 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXOR(t *testing.T) {
+	if got := Add(0x53, 0xCA); got != 0x53^0xCA {
+		t.Fatalf("Add(0x53, 0xCA) = %#x, want %#x", got, 0x53^0xCA)
+	}
+	if got := Sub(0x53, 0xCA); got != 0x53^0xCA {
+		t.Fatalf("Sub(0x53, 0xCA) = %#x, want %#x", got, 0x53^0xCA)
+	}
+}
+
+func TestMulMatchesSlowMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := slowMul(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestKnownProducts(t *testing.T) {
+	// Classic test vectors for polynomial 0x11D.
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 4},
+		{0x80, 2, 0x1D}, // α^7 * α = α^8 = 0x11D mod x^8
+		{0xFF, 0xFF, 0xE2},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%d, 1) = %d", a, got)
+		}
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%d, 0) = %d", a, got)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("a * Inv(a) = %d for a = %d (inv = %d)", got, a, inv)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestExpPeriodic(t *testing.T) {
+	for n := 0; n < 255; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp not periodic at n = %d", n)
+		}
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// α = 2 must generate all 255 nonzero elements.
+	seen := make(map[byte]bool, 255)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator repeats at step %d", i)
+		}
+		seen[x] = true
+		x = Mul(x, 2)
+	}
+	if x != 1 {
+		t.Fatalf("α^255 = %d, want 1", x)
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := func(a byte, nRaw uint8) bool {
+		n := int(nRaw % 16)
+		want := byte(1)
+		for i := 0; i < n; i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowZero(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("Pow(0, 0) != 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("Pow(0, 5) != 0")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	in := []byte{0, 1, 2, 0x53, 0xCA, 0xFF}
+	out := make([]byte, len(in))
+	for c := 0; c < 256; c++ {
+		MulSlice(byte(c), in, out)
+		for i, v := range in {
+			if out[i] != Mul(byte(c), v) {
+				t.Fatalf("MulSlice c=%d idx=%d: got %d want %d", c, i, out[i], Mul(byte(c), v))
+			}
+		}
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5}
+	want := make([]byte, len(buf))
+	MulSlice(7, buf, want)
+	MulSlice(7, buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("aliased MulSlice: got %v want %v", buf, want)
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	in := []byte{0, 1, 2, 0x53, 0xCA, 0xFF}
+	for c := 0; c < 256; c++ {
+		out := []byte{9, 8, 7, 6, 5, 4}
+		want := make([]byte, len(out))
+		for i := range out {
+			want[i] = out[i] ^ Mul(byte(c), in[i])
+		}
+		MulAddSlice(byte(c), in, out)
+		if !bytes.Equal(out, want) {
+			t.Fatalf("MulAddSlice c=%d: got %v want %v", c, out, want)
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	in := []byte{1, 2, 3}
+	out := []byte{4, 5, 6}
+	AddSlice(in, out)
+	if !bytes.Equal(out, []byte{5, 7, 5}) {
+		t.Fatalf("AddSlice got %v", out)
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(3, make([]byte, 2), make([]byte, 3)) },
+		"MulAddSlice": func() { MulAddSlice(3, make([]byte, 2), make([]byte, 3)) },
+		"AddSlice":    func() { AddSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	in := make([]byte, 64*1024)
+	out := make([]byte, 64*1024)
+	for i := range in {
+		in[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x53, in, out)
+	}
+}

@@ -1,0 +1,38 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkGet(b *testing.B) {
+	r := newTestRing(5)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("empty ring")
+		}
+	}
+}
+
+func BenchmarkGetN(b *testing.B) {
+	for _, members := range []int{5, 20} {
+		b.Run(fmt.Sprintf("members%d", members), func(b *testing.B) {
+			r := newTestRing(members)
+			keys := make([]string, 1024)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%d", i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := r.GetN(keys[i%len(keys)], 5); len(got) != 5 {
+					b.Fatal("short placement")
+				}
+			}
+		})
+	}
+}

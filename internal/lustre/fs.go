@@ -1,0 +1,157 @@
+// Package lustre provides the parallel-filesystem substrate under the
+// Boldio burst-buffer: a minimal chunk-oriented file API with a real
+// directory-backed implementation (DirFS) for the runnable system, and
+// a virtual-time performance model (SimPFS) for the Figure 13
+// experiments.
+package lustre
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// FS is the chunk-level file interface the burst buffer persists
+// through. Paths are slash-separated and relative.
+type FS interface {
+	// WriteChunk writes data at the byte offset of the named file,
+	// creating or extending it as needed.
+	WriteChunk(name string, offset int64, data []byte) error
+	// ReadChunk reads up to len(buf) bytes at offset, returning the
+	// byte count; io.EOF applies as with ReaderAt.
+	ReadChunk(name string, offset int64, buf []byte) (int, error)
+	// Size returns a file's current length.
+	Size(name string) (int64, error)
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// ErrBadPath is returned for absolute or parent-escaping paths.
+var ErrBadPath = errors.New("lustre: invalid path")
+
+// DirFS is an FS rooted at a local directory — the stand-in for a
+// mounted Lustre client. It is safe for concurrent use on distinct
+// files; concurrent writers to one file must write disjoint chunks
+// (which is how the burst buffer uses it).
+type DirFS struct {
+	root string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewDirFS returns a DirFS rooted at dir, creating it if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lustre: root: %w", err)
+	}
+	return &DirFS{root: dir, files: make(map[string]*os.File)}, nil
+}
+
+var _ FS = (*DirFS)(nil)
+
+func (d *DirFS) path(name string) (string, error) {
+	if name == "" || strings.HasPrefix(name, "/") || strings.Contains(name, "..") {
+		return "", fmt.Errorf("%w: %q", ErrBadPath, name)
+	}
+	return filepath.Join(d.root, filepath.FromSlash(name)), nil
+}
+
+// open returns a cached open handle for name, creating the file (and
+// parent directories) if create is set.
+func (d *DirFS) open(name string, create bool) (*os.File, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[p]; ok {
+		return f, nil
+	}
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(p, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d.files[p] = f
+	return f, nil
+}
+
+// WriteChunk writes data at offset.
+func (d *DirFS) WriteChunk(name string, offset int64, data []byte) error {
+	f, err := d.open(name, true)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, offset)
+	return err
+}
+
+// ReadChunk reads into buf at offset.
+func (d *DirFS) ReadChunk(name string, offset int64, buf []byte) (int, error) {
+	f, err := d.open(name, false)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("lustre: %s: %w", name, os.ErrNotExist)
+		}
+		return 0, err
+	}
+	n, err := f.ReadAt(buf, offset)
+	if errors.Is(err, io.EOF) && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+// Size returns the file length.
+func (d *DirFS) Size(name string) (int64, error) {
+	f, err := d.open(name, false)
+	if err != nil {
+		return 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Remove deletes the file and drops its cached handle.
+func (d *DirFS) Remove(name string) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if f, ok := d.files[p]; ok {
+		_ = f.Close()
+		delete(d.files, p)
+	}
+	d.mu.Unlock()
+	return os.Remove(p)
+}
+
+// Close releases every cached file handle.
+func (d *DirFS) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for p, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.files, p)
+	}
+	return first
+}

@@ -1,0 +1,80 @@
+package memproto
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"ecstore/internal/core"
+)
+
+// ClusterBackend adapts the resilient core.Client to the Backend
+// interface, making the proxy a memcached-compatible front door to
+// the erasure-coded cluster.
+type ClusterBackend struct {
+	// Client is the resilient cluster client.
+	Client *core.Client
+	// StatsAddrs lists servers whose store stats are aggregated for
+	// the `stats` command (optional).
+	StatsAddrs []string
+}
+
+var _ Backend = (*ClusterBackend)(nil)
+
+// Set stores through the cluster with the configured resilience.
+func (b *ClusterBackend) Set(key string, value []byte, ttl time.Duration) error {
+	return b.Client.SetTTL(key, value, ttl)
+}
+
+// Get reads through the cluster, reconstructing from parity under
+// failures.
+func (b *ClusterBackend) Get(key string) ([]byte, bool, error) {
+	v, err := b.Client.Get(key)
+	switch {
+	case err == nil:
+		return v, true, nil
+	case errors.Is(err, core.ErrNotFound):
+		return nil, false, nil
+	default:
+		return nil, false, err
+	}
+}
+
+// Delete removes the key cluster-wide.
+func (b *ClusterBackend) Delete(key string) (bool, error) {
+	err := b.Client.Delete(key)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, core.ErrNotFound):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Stats aggregates store statistics across the configured servers.
+func (b *ClusterBackend) Stats() map[string]string {
+	out := map[string]string{"proxy": "ecstore"}
+	var items, used, hits, misses, evictions int64
+	live := 0
+	for _, addr := range b.StatsAddrs {
+		st, err := b.Client.ServerStats(addr)
+		if err != nil {
+			continue
+		}
+		live++
+		items += st.Items
+		used += st.UsedBytes
+		hits += st.Hits
+		misses += st.Misses
+		evictions += st.Evictions
+	}
+	out["live_servers"] = strconv.Itoa(live)
+	out["curr_items"] = strconv.FormatInt(items, 10)
+	out["bytes"] = strconv.FormatInt(used, 10)
+	out["get_hits"] = strconv.FormatInt(hits, 10)
+	out["get_misses"] = strconv.FormatInt(misses, 10)
+	out["evictions"] = strconv.FormatInt(evictions, 10)
+	return out
+}

@@ -1,0 +1,304 @@
+// Package memproto implements a subset of the memcached ASCII
+// protocol (set/get/gets/delete/stats/version/quit) in front of any
+// Backend — in particular the resilient core.Client, which turns this
+// package into a drop-in memcached endpoint whose fault tolerance is
+// online erasure coding. Unmodified memcached clients (the
+// application-server scenario of the paper's introduction) connect to
+// the proxy and transparently get resilient, memory-efficient storage.
+package memproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ecstore/internal/transport"
+)
+
+// MaxItemSize bounds a single item, as in memcached's default 1 MB
+// (we allow the paper's full 16 MB frame ceiling divided by a margin).
+const MaxItemSize = 8 << 20
+
+// Backend is the storage the proxy serves. Implementations must be
+// safe for concurrent use.
+type Backend interface {
+	// Set stores value under key with a TTL (0 = no expiry).
+	Set(key string, value []byte, ttl time.Duration) error
+	// Get returns the value and whether it exists.
+	Get(key string) ([]byte, bool, error)
+	// Delete removes key, reporting whether it existed.
+	Delete(key string) (bool, error)
+	// Stats returns server statistics as key/value lines.
+	Stats() map[string]string
+}
+
+// Server speaks the memcached ASCII protocol on a listener.
+type Server struct {
+	backend  Backend
+	listener transport.Listener
+
+	mu     sync.Mutex
+	conns  map[transport.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a protocol server on ln backed by backend.
+func Serve(ln transport.Listener, backend Backend) *Server {
+	s := &Server{
+		backend:  backend,
+		listener: ln,
+		conns:    make(map[transport.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Close stops the server and tears down open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		if err := s.serveOne(br, bw); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, errQuit) {
+				_, _ = bw.WriteString("SERVER_ERROR " + err.Error() + "\r\n")
+			}
+			_ = bw.Flush()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// errQuit signals a clean client-initiated close.
+var errQuit = errors.New("quit")
+
+func (s *Server) serveOne(br *bufio.Reader, bw *bufio.Writer) error {
+	line, err := readLine(br)
+	if err != nil {
+		return err
+	}
+	if line == "" {
+		_, _ = bw.WriteString("ERROR\r\n")
+		return nil
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "set", "add", "replace":
+		return s.handleSet(br, bw, fields)
+	case "get", "gets":
+		return s.handleGet(bw, fields)
+	case "delete":
+		return s.handleDelete(bw, fields)
+	case "stats":
+		for k, v := range s.backend.Stats() {
+			fmt.Fprintf(bw, "STAT %s %s\r\n", k, v)
+		}
+		_, _ = bw.WriteString("END\r\n")
+		return nil
+	case "version":
+		_, _ = bw.WriteString("VERSION ecstore-1.0\r\n")
+		return nil
+	case "quit":
+		return errQuit
+	default:
+		_, _ = bw.WriteString("ERROR\r\n")
+		return nil
+	}
+}
+
+// handleSet implements: set <key> <flags> <exptime> <bytes> [noreply].
+// add/replace are accepted and treated as set (documented deviation).
+func (s *Server) handleSet(br *bufio.Reader, bw *bufio.Writer, fields []string) error {
+	noreply := len(fields) == 6 && fields[5] == "noreply"
+	if len(fields) != 5 && !noreply {
+		_, _ = bw.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	key := fields[1]
+	exptime, err1 := strconv.ParseInt(fields[3], 10, 64)
+	size, err2 := strconv.Atoi(fields[4])
+	if err1 != nil || err2 != nil || size < 0 || size > MaxItemSize || !validKey(key) {
+		_, _ = bw.WriteString("CLIENT_ERROR bad data chunk\r\n")
+		// Consume and discard the announced body if the size parsed.
+		if err2 == nil && size >= 0 && size <= MaxItemSize {
+			_, _ = io.CopyN(io.Discard, br, int64(size)+2)
+		}
+		return nil
+	}
+	value := make([]byte, size)
+	if _, err := io.ReadFull(br, value); err != nil {
+		return err
+	}
+	if err := expectCRLF(br); err != nil {
+		_, _ = bw.WriteString("CLIENT_ERROR bad data chunk\r\n")
+		return nil
+	}
+	ttl := expTimeToTTL(exptime)
+	if err := s.backend.Set(key, value, ttl); err != nil {
+		if !noreply {
+			_, _ = bw.WriteString("SERVER_ERROR " + err.Error() + "\r\n")
+		}
+		return nil
+	}
+	if !noreply {
+		_, _ = bw.WriteString("STORED\r\n")
+	}
+	return nil
+}
+
+// expTimeToTTL converts memcached exptime semantics: 0 = never,
+// <= 30 days = relative seconds, otherwise an absolute unix time.
+func expTimeToTTL(exptime int64) time.Duration {
+	const thirtyDays = 60 * 60 * 24 * 30
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime <= thirtyDays:
+		return time.Duration(exptime) * time.Second
+	default:
+		ttl := time.Until(time.Unix(exptime, 0))
+		if ttl <= 0 {
+			return time.Nanosecond // already expired
+		}
+		return ttl
+	}
+}
+
+func (s *Server) handleGet(bw *bufio.Writer, fields []string) error {
+	if len(fields) < 2 {
+		_, _ = bw.WriteString("ERROR\r\n")
+		return nil
+	}
+	withCAS := fields[0] == "gets"
+	for _, key := range fields[1:] {
+		if !validKey(key) {
+			continue
+		}
+		value, ok, err := s.backend.Get(key)
+		if err != nil || !ok {
+			continue // missing keys are silently skipped, per protocol
+		}
+		if withCAS {
+			// This store has no CAS tokens; report 0.
+			fmt.Fprintf(bw, "VALUE %s 0 %d 0\r\n", key, len(value))
+		} else {
+			fmt.Fprintf(bw, "VALUE %s 0 %d\r\n", key, len(value))
+		}
+		_, _ = bw.Write(value)
+		_, _ = bw.WriteString("\r\n")
+	}
+	_, _ = bw.WriteString("END\r\n")
+	return nil
+}
+
+func (s *Server) handleDelete(bw *bufio.Writer, fields []string) error {
+	noreply := len(fields) == 3 && fields[2] == "noreply"
+	if len(fields) != 2 && !noreply {
+		_, _ = bw.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	existed, err := s.backend.Delete(fields[1])
+	if noreply {
+		return nil
+	}
+	switch {
+	case err != nil:
+		_, _ = bw.WriteString("SERVER_ERROR " + err.Error() + "\r\n")
+	case existed:
+		_, _ = bw.WriteString("DELETED\r\n")
+	default:
+		_, _ = bw.WriteString("NOT_FOUND\r\n")
+	}
+	return nil
+}
+
+// validKey enforces memcached key rules: <= 250 bytes, no spaces or
+// control characters.
+func validKey(key string) bool {
+	if key == "" || len(key) > 250 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7F {
+			return false
+		}
+	}
+	return true
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func expectCRLF(br *bufio.Reader) error {
+	var crlf [2]byte
+	if _, err := io.ReadFull(br, crlf[:]); err != nil {
+		return err
+	}
+	if crlf[0] != '\r' || crlf[1] != '\n' {
+		return errors.New("memproto: missing CRLF after data block")
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package rpc provides the multiplexed request/response machinery both
+// sides of the system share: the key-value client uses it to talk to
+// servers, and servers use it to talk to their peers for the
+// server-side encode/decode schemes.
+//
+// One connection is maintained per remote address. Requests are framed
+// with package wire and correlated by ID, so many operations can be in
+// flight on a single connection — the transport-level analogue of the
+// paper's non-blocking RDMA verbs.
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// ErrServerDown is returned when the remote cannot be dialed or the
+// connection fails mid-call. Callers treat it as a node failure and
+// fall back to replicas or parity chunks.
+var ErrServerDown = errors.New("rpc: server down")
+
+// Call is a pending request. Exactly one of Resp/Err is set once Done
+// is closed.
+type Call struct {
+	done chan struct{}
+	resp *wire.Response
+	err  error
+}
+
+func newCall() *Call { return &Call{done: make(chan struct{})} }
+
+// Done returns a channel closed when the call completes.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Ready reports whether the call has completed without blocking.
+func (c *Call) Ready() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the call completes and returns its response.
+func (c *Call) Wait() (*wire.Response, error) {
+	<-c.done
+	return c.resp, c.err
+}
+
+func (c *Call) complete(resp *wire.Response, err error) {
+	c.resp, c.err = resp, err
+	close(c.done)
+}
+
+// Pool manages one multiplexed connection per remote address. It is
+// safe for concurrent use.
+type Pool struct {
+	network transport.Network
+
+	mu     sync.Mutex
+	conns  map[string]*muxConn
+	closed bool
+}
+
+// NewPool returns a Pool dialing through network.
+func NewPool(network transport.Network) *Pool {
+	return &Pool{network: network, conns: make(map[string]*muxConn)}
+}
+
+// Send issues req to addr and returns the pending Call. Dial happens
+// lazily; a broken connection is dropped so the next Send redials.
+func (p *Pool) Send(addr string, req *wire.Request) (*Call, error) {
+	mc, err := p.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	call, err := mc.send(req)
+	if err != nil {
+		p.drop(addr, mc)
+		return nil, fmt.Errorf("%w: %s: %v", ErrServerDown, addr, err)
+	}
+	return call, nil
+}
+
+// Roundtrip is Send followed by Wait, with server status mapped to an
+// error via Response.Err; the response is returned even on status
+// errors so callers can inspect metadata.
+func (p *Pool) Roundtrip(addr string, req *wire.Request) (*wire.Response, error) {
+	call, err := p.Send(addr, req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := call.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+func (p *Pool) conn(addr string) (*muxConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, transport.ErrClosed
+	}
+	if mc, ok := p.conns[addr]; ok && !mc.broken() {
+		return mc, nil
+	}
+	raw, err := p.network.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrServerDown, addr, err)
+	}
+	mc := newMuxConn(raw)
+	p.conns[addr] = mc
+	return mc, nil
+}
+
+// drop removes mc from the pool if it is still the registered
+// connection for addr.
+func (p *Pool) drop(addr string, mc *muxConn) {
+	p.mu.Lock()
+	if p.conns[addr] == mc {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	mc.close(ErrServerDown)
+}
+
+// Close shuts every connection; in-flight calls fail.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = make(map[string]*muxConn)
+	p.closed = true
+	p.mu.Unlock()
+	for _, mc := range conns {
+		mc.close(transport.ErrClosed)
+	}
+}
+
+// muxConn multiplexes calls over one transport connection.
+type muxConn struct {
+	conn transport.Conn
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+	wbuf    []byte
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	nextID  uint64
+	dead    bool
+	deadErr error
+}
+
+func newMuxConn(conn transport.Conn) *muxConn {
+	mc := &muxConn{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]*Call),
+	}
+	go mc.readLoop()
+	return mc
+}
+
+func (mc *muxConn) broken() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.dead
+}
+
+func (mc *muxConn) send(req *wire.Request) (*Call, error) {
+	call := newCall()
+	mc.mu.Lock()
+	if mc.dead {
+		err := mc.deadErr
+		mc.mu.Unlock()
+		return nil, err
+	}
+	mc.nextID++
+	req.ID = mc.nextID
+	mc.pending[req.ID] = call
+	mc.mu.Unlock()
+
+	mc.writeMu.Lock()
+	var err error
+	mc.wbuf, err = wire.AppendRequest(mc.wbuf[:0], req)
+	if err == nil {
+		_, err = mc.bw.Write(mc.wbuf)
+		if err == nil {
+			err = mc.bw.Flush()
+		}
+	}
+	mc.writeMu.Unlock()
+	if err != nil {
+		mc.mu.Lock()
+		delete(mc.pending, req.ID)
+		mc.mu.Unlock()
+		mc.close(err)
+		return nil, err
+	}
+	return call, nil
+}
+
+func (mc *muxConn) readLoop() {
+	br := bufio.NewReaderSize(mc.conn, 64<<10)
+	for {
+		resp, err := wire.ReadResponse(br)
+		if err != nil {
+			mc.close(fmt.Errorf("%w: %v", ErrServerDown, err))
+			return
+		}
+		mc.mu.Lock()
+		call, ok := mc.pending[resp.ID]
+		delete(mc.pending, resp.ID)
+		mc.mu.Unlock()
+		if ok {
+			call.complete(resp, nil)
+		}
+	}
+}
+
+// close marks the connection dead and fails all pending calls.
+func (mc *muxConn) close(err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.deadErr = err
+	pending := mc.pending
+	mc.pending = make(map[uint64]*Call)
+	mc.mu.Unlock()
+	_ = mc.conn.Close()
+	for _, call := range pending {
+		call.complete(nil, err)
+	}
+}

@@ -1,0 +1,224 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// startEcho runs a minimal wire-speaking server that echoes request
+// values back, with optional artificial reordering by responding to
+// even IDs after odd ones.
+func startEcho(t *testing.T, network transport.Network, addr string) {
+	t.Helper()
+	l, err := network.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				var mu sync.Mutex
+				for {
+					req, err := wire.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					go func() {
+						mu.Lock()
+						defer mu.Unlock()
+						_ = wire.WriteResponse(conn, &wire.Response{
+							ID: req.ID, Status: wire.StatusOK, Value: req.Value,
+						})
+					}()
+				}
+			}()
+		}
+	}()
+}
+
+func TestRoundtrip(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	startEcho(t, n, "echo")
+	p := NewPool(n)
+	defer p.Close()
+	resp, err := p.Roundtrip("echo", &wire.Request{Op: wire.OpSet, Key: "k", Value: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Value) != "hello" {
+		t.Fatalf("value %q", resp.Value)
+	}
+}
+
+func TestManyInFlight(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	startEcho(t, n, "echo")
+	p := NewPool(n)
+	defer p.Close()
+	const ops = 200
+	calls := make([]*Call, ops)
+	for i := range calls {
+		call, err := p.Send("echo", &wire.Request{
+			Op: wire.OpSet, Key: "k", Value: []byte(fmt.Sprintf("v%d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls[i] = call
+	}
+	for i, call := range calls {
+		resp, err := call.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(resp.Value) != want {
+			t.Fatalf("call %d: got %q (response correlation broken)", i, resp.Value)
+		}
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	startEcho(t, n, "echo")
+	p := NewPool(n)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				want := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				resp, err := p.Roundtrip("echo", &wire.Request{Op: wire.OpSet, Key: "k", Value: want})
+				if err != nil {
+					t.Errorf("roundtrip: %v", err)
+					return
+				}
+				if !bytes.Equal(resp.Value, want) {
+					t.Errorf("got %q want %q", resp.Value, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDialFailure(t *testing.T) {
+	p := NewPool(transport.NewInproc(transport.Shape{}))
+	defer p.Close()
+	if _, err := p.Send("nobody", &wire.Request{Op: wire.OpPing, Key: "k"}); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestServerDiesMidCall(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	l, err := n.Listen("dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	p := NewPool(n)
+	defer p.Close()
+	call, err := p.Send("dead", &wire.Request{Op: wire.OpPing, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server side without responding.
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(time.Second):
+		t.Fatal("no connection accepted")
+	}
+	if _, err := call.Wait(); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("got %v", err)
+	}
+	// The broken connection must be dropped so a later Send redials.
+	l.Close()
+	startEcho(t, n, "dead")
+	if _, err := p.Roundtrip("dead", &wire.Request{Op: wire.OpPing, Key: "k"}); err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	startEcho(t, n, "echo")
+	p := NewPool(n)
+	if _, err := p.Roundtrip("echo", &wire.Request{Op: wire.OpPing, Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.Send("echo", &wire.Request{Op: wire.OpPing, Key: "k"}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestCallReady(t *testing.T) {
+	c := newCall()
+	if c.Ready() {
+		t.Fatal("fresh call is ready")
+	}
+	c.complete(&wire.Response{Status: wire.StatusOK}, nil)
+	if !c.Ready() {
+		t.Fatal("completed call not ready")
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("Done not closed")
+	}
+}
+
+func TestRoundtripMapsStatusErrors(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	l, err := n.Listen("nf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for {
+			req, err := wire.ReadRequest(br)
+			if err != nil {
+				return
+			}
+			_ = wire.WriteResponse(conn, &wire.Response{ID: req.ID, Status: wire.StatusNotFound})
+		}
+	}()
+	p := NewPool(n)
+	defer p.Close()
+	if _, err := p.Roundtrip("nf", &wire.Request{Op: wire.OpGet, Key: "k"}); !errors.Is(err, wire.ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}

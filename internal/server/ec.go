@@ -1,0 +1,216 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// code returns a cached RS-Vandermonde code for (k, m). Server-side
+// encode/decode always uses RS(K,M), the code the paper selects.
+func (s *Server) code(k, m int) (erasure.Code, error) {
+	s.codeMu.Lock()
+	defer s.codeMu.Unlock()
+	key := [2]int{k, m}
+	if c, ok := s.codes[key]; ok {
+		return c, nil
+	}
+	c, err := erasure.NewRSVan(k, m)
+	if err != nil {
+		return nil, err
+	}
+	s.codes[key] = c
+	return c, nil
+}
+
+// placement returns the n chunk-holder addresses for key: the ring
+// primary followed by the next distinct servers. When the cluster has
+// fewer than n members, chunk i wraps onto placement[i % members].
+func (s *Server) placement(key string, n int) ([]string, error) {
+	servers := s.ring.GetN(key, n)
+	if len(servers) == 0 {
+		return nil, errors.New("server: no peers configured for erasure placement")
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = servers[i%len(servers)]
+	}
+	return out, nil
+}
+
+// handleEncodeSet implements the server-side-encode half of the
+// Era-SE-SD and Era-SE-CD schemes: the primary splits the value,
+// computes parity on its own CPU (overlapped with peer communication
+// by the worker pool), stores its own chunks locally, and distributes
+// the rest to peers with non-blocking chunk writes.
+func (s *Server) handleEncodeSet(req *wire.Request) *wire.Response {
+	k, m := int(req.Meta.K), int(req.Meta.M)
+	if k == 0 {
+		return &wire.Response{Status: wire.StatusError, Value: []byte("encode-set: missing K/M metadata")}
+	}
+	code, err := s.code(k, m)
+	if err != nil {
+		return errorResponse(err)
+	}
+	placement, err := s.placement(req.Key, k+m)
+	if err != nil {
+		return errorResponse(err)
+	}
+	shards := erasure.Split(req.Value, k, m)
+	if err := code.Encode(shards); err != nil {
+		return errorResponse(err)
+	}
+	meta := req.Meta
+	meta.TotalLen = uint32(len(req.Value))
+	meta.Stripe = wire.NewStripeID()
+
+	// Issue all remote chunk writes first (non-blocking), then store
+	// local chunks while the network requests are in flight.
+	calls := make([]*rpc.Call, 0, k+m)
+	var localErr error
+	type localChunk struct {
+		idx  int
+		addr string
+	}
+	locals := make([]localChunk, 0, 2)
+	for i, addr := range placement {
+		cm := meta
+		cm.ChunkIndex = uint8(i)
+		if addr == s.cfg.Addr {
+			locals = append(locals, localChunk{idx: i, addr: addr})
+			continue
+		}
+		call, err := s.peers.Send(addr, &wire.Request{
+			Op:         wire.OpSetChunk,
+			Key:        wire.ChunkKey(req.Key, i),
+			Value:      wire.EncodeChunkPayload(cm, shards[i]),
+			TTLSeconds: req.TTLSeconds,
+			Meta:       cm,
+		})
+		if err != nil {
+			return errorResponse(fmt.Errorf("distribute chunk %d to %s: %w", i, addr, err))
+		}
+		calls = append(calls, call)
+	}
+	ttl := time.Duration(req.TTLSeconds) * time.Second
+	for _, lc := range locals {
+		cm := meta
+		cm.ChunkIndex = uint8(lc.idx)
+		payload := wire.EncodeChunkPayload(cm, shards[lc.idx])
+		if err := s.store.Set(wire.ChunkKey(req.Key, lc.idx), payload, ttl); err != nil {
+			localErr = err
+		}
+	}
+	for _, call := range calls {
+		resp, err := call.Wait()
+		if err == nil {
+			err = resp.Err()
+		}
+		if err != nil {
+			return errorResponse(fmt.Errorf("peer chunk write: %w", err))
+		}
+	}
+	if localErr != nil {
+		return errorResponse(localErr)
+	}
+	return &wire.Response{Status: wire.StatusOK, Meta: meta}
+}
+
+// handleDecodeGet implements the server-side-decode half of the
+// Era-SE-SD and Era-CE-SD schemes: the primary aggregates any K of the
+// K+M chunks (local reads plus non-blocking peer reads), reconstructs
+// missing data chunks if needed, and returns the whole value.
+func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
+	k, m := int(req.Meta.K), int(req.Meta.M)
+	if k == 0 {
+		return &wire.Response{Status: wire.StatusError, Value: []byte("decode-get: missing K/M metadata")}
+	}
+	placement, err := s.placement(req.Key, k+m)
+	if err != nil {
+		return errorResponse(err)
+	}
+	collector := wire.NewChunkCollector(k, k+m)
+
+	// fetch attempts to retrieve the chunk set indexed by idxs;
+	// failures are tolerated (they are what parity is for), and
+	// chunks group by stripe so concurrent writes never tear.
+	fetch := func(idxs []int) {
+		calls := make(map[int]*rpc.Call, len(idxs))
+		for _, i := range idxs {
+			addr := placement[i]
+			key := wire.ChunkKey(req.Key, i)
+			if addr == s.cfg.Addr {
+				if payload, ok := s.store.Get(key); ok {
+					if meta, chunk, err := wire.DecodeChunkPayload(payload); err == nil {
+						collector.Add(meta, chunk)
+					}
+				}
+				continue
+			}
+			call, err := s.peers.Send(addr, &wire.Request{Op: wire.OpGetChunk, Key: key})
+			if err != nil {
+				continue
+			}
+			calls[i] = call
+		}
+		for _, call := range calls {
+			resp, err := call.Wait()
+			if err != nil || resp.Err() != nil {
+				continue
+			}
+			meta, chunk, err := wire.DecodeChunkPayload(resp.Value)
+			if err != nil {
+				continue
+			}
+			collector.Add(meta, chunk)
+		}
+	}
+
+	// Round 1: the K data chunks. Round 2: parity as needed.
+	fetch(seqInts(0, k))
+	if !collector.Decodable() {
+		fetch(seqInts(k, k+m))
+	}
+	_, totalLen, chunks, ok := collector.Best()
+	if !ok {
+		return &wire.Response{Status: wire.StatusNotFound}
+	}
+
+	needsDecode := false
+	for i := 0; i < k; i++ {
+		if chunks[i] == nil {
+			needsDecode = true
+			break
+		}
+	}
+	if needsDecode {
+		code, err := s.code(k, m)
+		if err != nil {
+			return errorResponse(err)
+		}
+		if err := code.Reconstruct(chunks); err != nil {
+			return errorResponse(err)
+		}
+	}
+	value, err := erasure.Join(chunks, k, int(totalLen))
+	if err != nil {
+		return errorResponse(err)
+	}
+	return &wire.Response{
+		Status: wire.StatusOK,
+		Value:  value,
+		Meta:   wire.ECMeta{K: uint8(k), M: uint8(m), TotalLen: totalLen},
+	}
+}
+
+func seqInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+// Package server implements the key-value store server: a
+// connection-multiplexing request dispatcher over a worker pool (the
+// paper's multi-threaded Memcached server with 8 workers), the item
+// store, and a server-side Asynchronous Request Processing Engine that
+// talks to peer servers to execute the server-side encode (Era-SE-*)
+// and server-side decode (Era-*-SD) schemes.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/hashring"
+	"ecstore/internal/rpc"
+	"ecstore/internal/store"
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// DefaultWorkers matches the paper's per-server worker thread count.
+const DefaultWorkers = 8
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the address to listen on.
+	Addr string
+	// Network is the transport to listen/dial through.
+	Network transport.Network
+	// Peers lists every server address in the cluster, including this
+	// one. It seeds the consistent-hashing ring used to locate chunk
+	// placements for the server-side schemes. May be nil for a
+	// standalone server.
+	Peers []string
+	// Store configures the item store.
+	Store store.Config
+	// Workers sets the worker pool size (DefaultWorkers if zero).
+	Workers int
+	// Logf receives diagnostics; log.Printf if nil.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running key-value store server.
+type Server struct {
+	cfg      Config
+	listener transport.Listener
+	store    *store.Store
+	ring     *hashring.Ring
+	peers    *rpc.Pool
+	jobs     chan job
+	quit     chan struct{}
+	logf     func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[*connWriter]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	codeMu sync.Mutex
+	codes  map[[2]int]erasure.Code
+}
+
+type job struct {
+	req *wire.Request
+	out *connWriter
+}
+
+// connWriter serializes response writes for one connection.
+type connWriter struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	conn transport.Conn
+	buf  []byte
+}
+
+func (cw *connWriter) write(resp *wire.Response) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	var err error
+	cw.buf, err = wire.AppendResponse(cw.buf[:0], resp)
+	if err != nil {
+		return err
+	}
+	if _, err := cw.bw.Write(cw.buf); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
+}
+
+// New creates and starts a server listening on cfg.Addr.
+func New(cfg Config) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("server: Config.Network is required")
+	}
+	ln, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server listen %s: %w", cfg.Addr, err)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		store:    store.New(cfg.Store),
+		ring:     hashring.New(0),
+		peers:    rpc.NewPool(cfg.Network),
+		// The job queue is sized to keep every worker busy while the
+		// readers stay responsive; beyond that, backpressure blocks
+		// the connection reader, which is the desired flow control.
+		jobs:  make(chan job, workers*2),
+		quit:  make(chan struct{}),
+		logf:  logf,
+		conns: make(map[*connWriter]struct{}),
+		codes: make(map[[2]int]erasure.Code),
+	}
+	for _, p := range cfg.Peers {
+		s.ring.Add(p)
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the resolved listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Store exposes the underlying item store (used by stats and tests).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close stops the server: the listener closes, open connections are
+// torn down, and workers drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*connWriter, 0, len(s.conns))
+	for cw := range s.conns {
+		conns = append(conns, cw)
+	}
+	s.mu.Unlock()
+
+	close(s.quit)
+	_ = s.listener.Close()
+	for _, cw := range conns {
+		_ = cw.conn.Close()
+	}
+	s.peers.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		cw := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[cw] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn, cw)
+	}
+}
+
+func (s *Server) readLoop(conn transport.Conn, cw *connWriter) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, cw)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		req, err := wire.ReadRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, transport.ErrClosed) {
+				s.logf("server %s: read: %v", s.cfg.Addr, err)
+			}
+			return
+		}
+		select {
+		case s.jobs <- job{req: req, out: cw}:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			resp := s.handle(j.req)
+			resp.ID = j.req.ID
+			// A write error means the connection died; its read loop
+			// cleans up.
+			_ = j.out.write(resp)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func errorResponse(err error) *wire.Response {
+	switch {
+	case errors.Is(err, wire.ErrNotFound):
+		return &wire.Response{Status: wire.StatusNotFound}
+	case errors.Is(err, store.ErrOutOfMemory), errors.Is(err, store.ErrValueTooLarge):
+		return &wire.Response{Status: wire.StatusOutOfMemory}
+	default:
+		return &wire.Response{Status: wire.StatusError, Value: []byte(err.Error())}
+	}
+}
+
+func (s *Server) handle(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpSet, wire.OpSetChunk:
+		if err := s.store.Set(req.Key, req.Value, time.Duration(req.TTLSeconds)*time.Second); err != nil {
+			return errorResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpGet, wire.OpGetChunk:
+		v, ok := s.store.Get(req.Key)
+		if !ok {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK, Value: v}
+	case wire.OpDelete:
+		if !s.store.Delete(req.Key) {
+			return &wire.Response{Status: wire.StatusNotFound}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpEncodeSet:
+		return s.handleEncodeSet(req)
+	case wire.OpDecodeGet:
+		return s.handleDecodeGet(req)
+	case wire.OpStats:
+		data, err := json.Marshal(s.store.Stats())
+		if err != nil {
+			return errorResponse(err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Value: data}
+	default:
+		return &wire.Response{Status: wire.StatusError, Value: []byte("unknown op")}
+	}
+}

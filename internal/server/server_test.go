@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ecstore/internal/rpc"
+	"ecstore/internal/store"
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// startServers launches n servers that know each other as peers and
+// returns them with a client pool.
+func startServers(t *testing.T, n int, storeBytes int64) ([]*Server, *rpc.Pool) {
+	t.Helper()
+	network := transport.NewInproc(transport.Shape{})
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("srv-%d", i)
+	}
+	servers := make([]*Server, n)
+	for i := range addrs {
+		srv, err := New(Config{
+			Addr:    addrs[i],
+			Network: network,
+			Peers:   addrs,
+			Store:   store.Config{MaxBytes: storeBytes},
+			Logf:    func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(srv.Close)
+	}
+	pool := rpc.NewPool(network)
+	t.Cleanup(pool.Close)
+	return servers, pool
+}
+
+func TestBasicOps(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	addr := servers[0].Addr()
+
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "p"}); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpSet, Key: "k", Value: []byte("v")}); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	resp, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: "k"})
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if string(resp.Value) != "v" {
+		t.Fatalf("get value %q", resp.Value)
+	}
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: "k"}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: "k"}); !errors.Is(err, wire.ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: "k"}); !errors.Is(err, wire.ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestStatsOp(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	addr := servers[0].Addr()
+	_, _ = pool.Roundtrip(addr, &wire.Request{Op: wire.OpSet, Key: "k", Value: []byte("v")})
+	resp, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpStats, Key: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st store.Stats
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sets != 1 || st.Items != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	// Op must be wire-valid to pass framing; OpStats-like unknown
+	// handling is covered by sending a valid op the server rejects.
+	resp, err := pool.Roundtrip(servers[0].Addr(), &wire.Request{Op: wire.OpEncodeSet, Key: "k", Value: []byte("v")})
+	if err == nil {
+		t.Fatalf("encode-set without metadata succeeded: %+v", resp)
+	}
+}
+
+func TestOutOfMemoryStatus(t *testing.T) {
+	servers, pool := startServers(t, 1, 256)
+	addr := servers[0].Addr()
+	_, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpSet, Key: "k", Value: make([]byte, 10_000)})
+	if !errors.Is(err, wire.ErrOutOfMemory) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestServerSideEncodeDecode(t *testing.T) {
+	servers, pool := startServers(t, 5, 0)
+	primaryOf := func(key string) string {
+		// Any server can coordinate; send to srv-0 regardless — the
+		// handler places chunks by ring, not by receiver.
+		_ = key
+		return servers[0].Addr()
+	}
+	value := bytes.Repeat([]byte("payload"), 1000)
+	meta := wire.ECMeta{K: 3, M: 2}
+	if _, err := pool.Roundtrip(primaryOf("key1"), &wire.Request{
+		Op: wire.OpEncodeSet, Key: "key1", Value: value, Meta: meta,
+	}); err != nil {
+		t.Fatalf("encode-set: %v", err)
+	}
+	// Chunks must exist on 5 distinct servers.
+	stored := 0
+	for _, srv := range servers {
+		stored += srv.Store().Len()
+	}
+	if stored != 5 {
+		t.Fatalf("stored %d chunks, want 5", stored)
+	}
+	resp, err := pool.Roundtrip(primaryOf("key1"), &wire.Request{
+		Op: wire.OpDecodeGet, Key: "key1", Meta: meta,
+	})
+	if err != nil {
+		t.Fatalf("decode-get: %v", err)
+	}
+	if !bytes.Equal(resp.Value, value) {
+		t.Fatal("decode-get value differs")
+	}
+}
+
+func TestDecodeGetDegraded(t *testing.T) {
+	servers, pool := startServers(t, 5, 0)
+	value := bytes.Repeat([]byte("abc"), 5000)
+	meta := wire.ECMeta{K: 3, M: 2}
+	coord := servers[0].Addr()
+	if _, err := pool.Roundtrip(coord, &wire.Request{
+		Op: wire.OpEncodeSet, Key: "k", Value: value, Meta: meta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill two non-coordinator servers; decode must still succeed.
+	servers[2].Close()
+	servers[3].Close()
+	resp, err := pool.Roundtrip(coord, &wire.Request{Op: wire.OpDecodeGet, Key: "k", Meta: meta})
+	if err != nil {
+		t.Fatalf("degraded decode-get: %v", err)
+	}
+	if !bytes.Equal(resp.Value, value) {
+		t.Fatal("degraded value differs")
+	}
+}
+
+func TestDecodeGetMissingKey(t *testing.T) {
+	servers, pool := startServers(t, 5, 0)
+	_, err := pool.Roundtrip(servers[0].Addr(), &wire.Request{
+		Op: wire.OpDecodeGet, Key: "nope", Meta: wire.ECMeta{K: 3, M: 2},
+	})
+	if !errors.Is(err, wire.ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEncodeSetNoMeta(t *testing.T) {
+	servers, pool := startServers(t, 5, 0)
+	_, err := pool.Roundtrip(servers[0].Addr(), &wire.Request{Op: wire.OpEncodeSet, Key: "k", Value: []byte("v")})
+	if err == nil {
+		t.Fatal("encode-set without K/M accepted")
+	}
+	_, err = pool.Roundtrip(servers[0].Addr(), &wire.Request{Op: wire.OpDecodeGet, Key: "k"})
+	if err == nil {
+		t.Fatal("decode-get without K/M accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	servers, _ := startServers(t, 1, 0)
+	servers[0].Close()
+	servers[0].Close()
+}
+
+func TestAddrInUse(t *testing.T) {
+	network := transport.NewInproc(transport.Shape{})
+	srv, err := New(Config{Addr: "a", Network: network, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := New(Config{Addr: "a", Network: network, Logf: func(string, ...any) {}}); err == nil {
+		t.Fatal("second listen on same addr succeeded")
+	}
+	if _, err := New(Config{Addr: "b"}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestPlacementWrapsSmallCluster(t *testing.T) {
+	// A 3-server cluster still accepts RS(3,2): chunks wrap onto
+	// servers (reduced fault tolerance, but functional).
+	servers, pool := startServers(t, 3, 0)
+	value := bytes.Repeat([]byte("x"), 999)
+	meta := wire.ECMeta{K: 3, M: 2}
+	if _, err := pool.Roundtrip(servers[0].Addr(), &wire.Request{
+		Op: wire.OpEncodeSet, Key: "k", Value: value, Meta: meta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := pool.Roundtrip(servers[0].Addr(), &wire.Request{Op: wire.OpDecodeGet, Key: "k", Meta: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Value, value) {
+		t.Fatal("value differs")
+	}
+}

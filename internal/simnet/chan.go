@@ -1,0 +1,120 @@
+package simnet
+
+// Chan is a simulated channel: Send and Recv block the calling Proc in
+// virtual time with FIFO wakeup order. A capacity of zero gives
+// rendezvous semantics like an unbuffered Go channel.
+type Chan[T any] struct {
+	k     *Kernel
+	buf   []T
+	cap   int
+	sendq []*sendWaiter[T]
+	recvq []*recvWaiter[T]
+}
+
+type sendWaiter[T any] struct {
+	p *Proc
+	v T
+}
+
+type recvWaiter[T any] struct {
+	p  *Proc
+	v  T
+	ok bool
+}
+
+// NewChan returns a simulated channel with the given capacity.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v, blocking p until a receiver or buffer slot is
+// available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	// Direct handoff to a waiting receiver.
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.v, w.ok = v, true
+		c.k.ready(w.p)
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &sendWaiter[T]{p: p, v: v}
+	c.sendq = append(c.sendq, w)
+	p.block()
+}
+
+// TrySend delivers v without blocking, reporting success.
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		w.v, w.ok = v, true
+		c.k.ready(w.p)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv returns the next value, blocking p until one is available.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A blocked sender can now fill the freed slot.
+		if len(c.sendq) > 0 {
+			w := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, w.v)
+			c.k.ready(w.p)
+		}
+		return v
+	}
+	// Rendezvous with a blocked sender (unbuffered case).
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.k.ready(w.p)
+		return w.v
+	}
+	w := &recvWaiter[T]{p: p}
+	c.recvq = append(c.recvq, w)
+	p.block()
+	return w.v
+}
+
+// TryRecv returns the next value without blocking, reporting success.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendq) > 0 {
+			w := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, w.v)
+			c.k.ready(w.p)
+		}
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.k.ready(w.p)
+		return w.v, true
+	}
+	return zero, false
+}

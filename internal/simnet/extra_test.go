@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTrySendWakesWaitingReceiver(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	var got int
+	k.Go("recv", func(p *Proc) { got = ch.Recv(p) })
+	k.Go("send", func(p *Proc) {
+		p.Sleep(time.Second)
+		if !ch.TrySend(42) {
+			t.Error("TrySend to waiting receiver failed")
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestTryRecvDrainsBlockedSender(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 1)
+	var senderDone time.Duration
+	k.Go("send", func(p *Proc) {
+		ch.Send(p, 1) // buffered
+		ch.Send(p, 2) // blocks: buffer full
+		senderDone = p.Now()
+	})
+	k.Go("drain", func(p *Proc) {
+		p.Sleep(time.Second)
+		if v, ok := ch.TryRecv(); !ok || v != 1 {
+			t.Errorf("first TryRecv = %d, %v", v, ok)
+		}
+		if v, ok := ch.TryRecv(); !ok || v != 2 {
+			t.Errorf("second TryRecv = %d, %v", v, ok)
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if senderDone != time.Second {
+		t.Fatalf("blocked sender released at %v", senderDone)
+	}
+}
+
+func TestResourceSlotHandoffAccounting(t *testing.T) {
+	// When a waiter takes over a released slot directly, utilization
+	// accounting must stay exact: two 1s jobs on capacity 1 = 2s busy.
+	k := NewKernel(1)
+	r := NewResource(k, 1)
+	for i := 0; i < 2; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) { r.Use(p, time.Second) })
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.BusyTime() != 2*time.Second {
+		t.Fatalf("busy %v, want 2s", r.BusyTime())
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatalf("resource not drained: inUse=%d queue=%d", r.InUse(), r.QueueLen())
+	}
+}
+
+func TestAtInThePastClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	var fired time.Duration = -1
+	k.Go("p", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		k.At(time.Second, func() { fired = k.Now() }) // in the past
+		p.Sleep(time.Millisecond)
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5*time.Second {
+		t.Fatalf("past event fired at %v, want clamped to 5s", fired)
+	}
+}
+
+func TestNegativeSleepIsInstant(t *testing.T) {
+	k := NewKernel(1)
+	var after time.Duration = -1
+	k.Go("p", func(p *Proc) {
+		p.Sleep(-time.Hour)
+		after = p.Now()
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if after != 0 {
+		t.Fatalf("negative sleep advanced time to %v", after)
+	}
+}
+
+func TestManyProcsScale(t *testing.T) {
+	// 2000 procs contending on channels and resources: exercises the
+	// scheduler at the scale of the YCSB experiments.
+	k := NewKernel(1)
+	r := NewResource(k, 8)
+	done := NewChan[int](k, 2000)
+	for i := 0; i < 2000; i++ {
+		k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Use(p, time.Millisecond)
+			done.TrySend(1)
+		})
+	}
+	end, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Len() != 2000 {
+		t.Fatalf("%d of 2000 completed", done.Len())
+	}
+	// 2000 x 1ms on 8 slots = 250ms.
+	if end != 250*time.Millisecond {
+		t.Fatalf("end = %v, want 250ms", end)
+	}
+}
+
+func TestProcName(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("my-proc", func(p *Proc) {
+		if p.Name() != "my-proc" {
+			t.Errorf("Name() = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricProfileTransferMonotone(t *testing.T) {
+	for _, prof := range []Profile{ProfileQDR, ProfileFDR, ProfileEDR, ProfileIPoIB} {
+		prev := time.Duration(0)
+		for _, size := range []int{0, 512, 4 << 10, 64 << 10, 1 << 20} {
+			d := prof.Transfer(size)
+			if d < prev {
+				t.Fatalf("%s: Transfer not monotone at %d bytes", prof.Name, size)
+			}
+			prev = d
+		}
+	}
+	// Faster fabrics must be faster for bulk transfers.
+	if ProfileEDR.Transfer(1<<20) >= ProfileQDR.Transfer(1<<20) {
+		t.Fatal("EDR not faster than QDR at 1 MB")
+	}
+	if ProfileQDR.Transfer(1<<20) >= ProfileIPoIB.Transfer(1<<20) {
+		t.Fatal("QDR RDMA not faster than IPoIB at 1 MB")
+	}
+}

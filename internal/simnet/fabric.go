@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Profile describes an interconnect: the parameters of the paper's
+// latency model T_comm(D) = L + D/B (Equation 1) plus the transport
+// behaviours that drive its second-order effects — the
+// eager/rendezvous protocol switch of RDMA-Memcached and per-message
+// host CPU overheads.
+type Profile struct {
+	// Name labels the fabric in reports.
+	Name string
+	// Latency is the one-way small-message latency L.
+	Latency time.Duration
+	// BytesPerSec is the per-NIC effective bandwidth B.
+	BytesPerSec float64
+	// EagerThreshold: messages of at least this size pay a
+	// rendezvous handshake (an extra round trip) before the bulk
+	// transfer, as in RDMA-Memcached's Eager/Rendezvous protocols.
+	// Zero disables the handshake entirely (TCP-style streaming).
+	EagerThreshold int
+	// PostOverhead is the sender-side CPU time to issue one message
+	// (the non-blocking API's request-issue cost).
+	PostOverhead time.Duration
+	// RecvOverhead is the receiver-side CPU time to accept one
+	// message, charged to the server worker that handles it. RDMA
+	// keeps this tiny; kernel TCP (IPoIB) does not.
+	RecvOverhead time.Duration
+}
+
+// Fabric profiles for the paper's three clusters plus IPoIB.
+// Bandwidths are effective data rates (after encoding overhead).
+var (
+	// ProfileQDR models RI-QDR: Mellanox QDR HCAs, 32 Gb/s signal.
+	ProfileQDR = Profile{
+		Name:           "RI-QDR",
+		Latency:        2 * time.Microsecond,
+		BytesPerSec:    3.2e9,
+		EagerThreshold: 16 << 10,
+		PostOverhead:   300 * time.Nanosecond,
+		RecvOverhead:   300 * time.Nanosecond,
+	}
+	// ProfileFDR models SDSC-Comet: FDR HCAs, 56 Gb/s.
+	ProfileFDR = Profile{
+		Name:           "SDSC-Comet",
+		Latency:        1500 * time.Nanosecond,
+		BytesPerSec:    6.8e9,
+		EagerThreshold: 16 << 10,
+		PostOverhead:   300 * time.Nanosecond,
+		RecvOverhead:   300 * time.Nanosecond,
+	}
+	// ProfileEDR models RI2-EDR: EDR HCAs, 100 Gb/s.
+	ProfileEDR = Profile{
+		Name:           "RI2-EDR",
+		Latency:        time.Microsecond,
+		BytesPerSec:    12.1e9,
+		EagerThreshold: 16 << 10,
+		PostOverhead:   250 * time.Nanosecond,
+		RecvOverhead:   250 * time.Nanosecond,
+	}
+	// ProfileIPoIB models TCP/IP over the QDR fabric: kernel-stack
+	// latencies and a fraction of the link bandwidth, no RDMA
+	// protocols.
+	ProfileIPoIB = Profile{
+		Name:         "IPoIB",
+		Latency:      25 * time.Microsecond,
+		BytesPerSec:  1.2e9,
+		PostOverhead: 3 * time.Microsecond,
+		RecvOverhead: 3 * time.Microsecond,
+	}
+)
+
+// Transfer returns the uncontended one-way time for a message of size
+// bytes: L + D/B plus the rendezvous handshake where it applies.
+func (pr Profile) Transfer(size int) time.Duration {
+	d := pr.Latency + pr.serialization(size)
+	if pr.rendezvous(size) {
+		d += 2 * pr.Latency
+	}
+	return d
+}
+
+func (pr Profile) serialization(size int) time.Duration {
+	if pr.BytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / pr.BytesPerSec * float64(time.Second))
+}
+
+func (pr Profile) rendezvous(size int) bool {
+	return pr.EagerThreshold > 0 && size >= pr.EagerThreshold
+}
+
+// Message is a datagram delivered to a node's inbox.
+type Message struct {
+	// From and To are node names.
+	From, To string
+	// Size is the modelled wire size in bytes.
+	Size int
+	// Payload carries protocol content (opaque to the fabric).
+	Payload any
+}
+
+// Node is a host on the fabric.
+type Node struct {
+	name  string
+	tx    *Timeline
+	rx    *Timeline
+	inbox *Chan[Message]
+	// CPU models the node's request-processing workers.
+	CPU  *Resource
+	down bool
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Recv blocks until the next inbound message.
+func (n *Node) Recv(p *Proc) Message { return n.inbox.Recv(p) }
+
+// TryRecv returns the next inbound message without blocking.
+func (n *Node) TryRecv() (Message, bool) { return n.inbox.TryRecv() }
+
+// Fabric is the simulated interconnect: a set of nodes whose NICs
+// serialize traffic at the profile bandwidth with cut-through
+// forwarding, so congestion forms at whichever NIC is the bottleneck —
+// the mechanism behind the paper's skewed-load observations.
+type Fabric struct {
+	k     *Kernel
+	prof  Profile
+	nodes map[string]*Node
+}
+
+// NewFabric returns a fabric on k with the given profile.
+func NewFabric(k *Kernel, prof Profile) *Fabric {
+	return &Fabric{k: k, prof: prof, nodes: make(map[string]*Node)}
+}
+
+// Profile returns the fabric profile.
+func (f *Fabric) Profile() Profile { return f.prof }
+
+// Kernel returns the owning kernel.
+func (f *Fabric) Kernel() *Kernel { return f.k }
+
+// AddNode registers a host with the given number of CPU workers.
+func (f *Fabric) AddNode(name string, workers int) *Node {
+	if _, ok := f.nodes[name]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	n := &Node{
+		name:  name,
+		tx:    NewTimeline(f.k),
+		rx:    NewTimeline(f.k),
+		inbox: NewChan[Message](f.k, math.MaxInt32),
+		CPU:   NewResource(f.k, workers),
+	}
+	f.nodes[name] = n
+	return n
+}
+
+// Node returns a registered node.
+func (f *Fabric) Node(name string) *Node {
+	n, ok := f.nodes[name]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node %q", name))
+	}
+	return n
+}
+
+// SetDown marks a node failed (true) or recovered (false). Messages to
+// a down node vanish and Send reports failure, modelling the broken
+// RDMA connection a crashed server leaves behind.
+func (f *Fabric) SetDown(name string, down bool) {
+	f.Node(name).down = down
+}
+
+// Down reports whether a node is failed.
+func (f *Fabric) Down(name string) bool { return f.Node(name).down }
+
+// Send transmits a message from p's node to the destination inbox. It
+// blocks p only for the sender-side post overhead (the non-blocking
+// verbs model); serialization, handshake and delivery proceed in
+// virtual time without occupying the caller. It reports false when
+// either endpoint is down, in which case nothing is delivered.
+func (f *Fabric) Send(p *Proc, msg Message) bool {
+	src, dst := f.Node(msg.From), f.Node(msg.To)
+	if src.down || dst.down {
+		return false
+	}
+	if f.prof.PostOverhead > 0 {
+		p.Sleep(f.prof.PostOverhead)
+	}
+	f.deliver(src, dst, msg)
+	return true
+}
+
+// deliver books NIC time and schedules inbox arrival.
+func (f *Fabric) deliver(src, dst *Node, msg Message) {
+	now := f.k.Now()
+	start := now
+	if f.prof.rendezvous(msg.Size) {
+		// RTS/CTS control round trip before the bulk transfer.
+		start += 2 * f.prof.Latency
+	}
+	ser := f.prof.serialization(msg.Size)
+	txStart, _ := src.tx.ReserveAfter(start, ser)
+	// Cut-through: the receiver NIC starts taking bits one latency
+	// after the sender starts emitting them, later if it is busy.
+	_, rxEnd := dst.rx.ReserveAfter(txStart+f.prof.Latency, ser)
+	f.k.At(rxEnd, func() {
+		if dst.down {
+			return
+		}
+		dst.inbox.TrySend(msg)
+	})
+}

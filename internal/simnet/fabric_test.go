@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// testProfile is a round-number fabric for arithmetic checks:
+// L = 10µs, B = 1 GB/s, rendezvous at 16 KB.
+var testProfile = Profile{
+	Name:           "test",
+	Latency:        10 * time.Microsecond,
+	BytesPerSec:    1e9,
+	EagerThreshold: 16 << 10,
+}
+
+func TestProfileTransfer(t *testing.T) {
+	// 1000 bytes at 1 GB/s = 1µs serialization; eager: L + D/B.
+	if got, want := testProfile.Transfer(1000), 11*time.Microsecond; got != want {
+		t.Fatalf("eager transfer = %v, want %v", got, want)
+	}
+	// 16 KB trips rendezvous: + 2L handshake.
+	want := 10*time.Microsecond + time.Duration(float64(16<<10)/1e9*1e9) + 20*time.Microsecond
+	if got := testProfile.Transfer(16 << 10); got != want {
+		t.Fatalf("rendezvous transfer = %v, want %v", got, want)
+	}
+	if ProfileIPoIB.rendezvous(1 << 20) {
+		t.Fatal("IPoIB must never use rendezvous")
+	}
+}
+
+func TestSendDeliversAtModeledTime(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFabric(k, testProfile)
+	f.AddNode("a", 1)
+	f.AddNode("b", 1)
+	var arrived time.Duration
+	k.Go("receiver", func(p *Proc) {
+		f.Node("b").Recv(p)
+		arrived = p.Now()
+	})
+	k.Go("sender", func(p *Proc) {
+		f.Send(p, Message{From: "a", To: "b", Size: 1000, Payload: "x"})
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	// PostOverhead is zero in testProfile: delivery = L + D/B = 11µs.
+	if arrived != 11*time.Microsecond {
+		t.Fatalf("arrived at %v, want 11µs", arrived)
+	}
+}
+
+func TestSenderOnlyBlocksForPost(t *testing.T) {
+	prof := testProfile
+	prof.PostOverhead = time.Microsecond
+	k := NewKernel(1)
+	f := NewFabric(k, prof)
+	f.AddNode("a", 1)
+	f.AddNode("b", 1)
+	var senderDone time.Duration
+	k.Go("sender", func(p *Proc) {
+		f.Send(p, Message{From: "a", To: "b", Size: 1 << 20, Payload: nil})
+		senderDone = p.Now()
+	})
+	k.Go("drain", func(p *Proc) { f.Node("b").Recv(p) })
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if senderDone != time.Microsecond {
+		t.Fatalf("sender blocked until %v; non-blocking post should cost only 1µs", senderDone)
+	}
+}
+
+func TestNICSerializationContention(t *testing.T) {
+	// Two 1 MB messages out of one node: the second's delivery is
+	// pushed behind the first on the tx timeline.
+	k := NewKernel(1)
+	f := NewFabric(k, testProfile)
+	f.AddNode("a", 1)
+	f.AddNode("b", 1)
+	f.AddNode("c", 1)
+	const mb = 1 << 20
+	ser := time.Duration(float64(mb) / 1e9 * 1e9)
+	var arriveB, arriveC time.Duration
+	k.Go("rb", func(p *Proc) { f.Node("b").Recv(p); arriveB = p.Now() })
+	k.Go("rc", func(p *Proc) { f.Node("c").Recv(p); arriveC = p.Now() })
+	k.Go("sender", func(p *Proc) {
+		f.Send(p, Message{From: "a", To: "b", Size: mb})
+		f.Send(p, Message{From: "a", To: "c", Size: mb})
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	// First message: handshake 2L, then ser on tx, cut-through
+	// arrival at txStart + L + ser.
+	first := 2*testProfile.Latency + testProfile.Latency + ser
+	if arriveB != first {
+		t.Fatalf("first arrival %v, want %v", arriveB, first)
+	}
+	// Second message's tx starts after the first finishes the wire.
+	if arriveC <= arriveB+ser/2 {
+		t.Fatalf("second arrival %v not serialized behind first (%v)", arriveC, arriveB)
+	}
+}
+
+func TestReceiverContention(t *testing.T) {
+	// Two senders into one receiver: aggregate ingress is bounded by
+	// the receiver NIC, the congestion point of the paper's skewed
+	// YCSB load.
+	k := NewKernel(1)
+	f := NewFabric(k, testProfile)
+	f.AddNode("s1", 1)
+	f.AddNode("s2", 1)
+	f.AddNode("dst", 1)
+	const size = 1 << 20
+	ser := time.Duration(float64(size) / 1e9 * 1e9)
+	var last time.Duration
+	k.Go("recv", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			f.Node("dst").Recv(p)
+		}
+		last = p.Now()
+	})
+	k.Go("send1", func(p *Proc) { f.Send(p, Message{From: "s1", To: "dst", Size: size}) })
+	k.Go("send2", func(p *Proc) { f.Send(p, Message{From: "s2", To: "dst", Size: size}) })
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	// Both senders transmit in parallel, but the receiver NIC takes
+	// 2 × ser to ingest both.
+	if last < 2*ser {
+		t.Fatalf("both messages arrived by %v; receiver NIC should serialize to >= %v", last, 2*ser)
+	}
+}
+
+func TestDownNode(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFabric(k, testProfile)
+	f.AddNode("a", 1)
+	f.AddNode("b", 1)
+	f.SetDown("b", true)
+	var sendOK bool
+	k.Go("sender", func(p *Proc) {
+		sendOK = f.Send(p, Message{From: "a", To: "b", Size: 10})
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sendOK {
+		t.Fatal("send to down node reported success")
+	}
+	if !f.Down("b") {
+		t.Fatal("Down not reported")
+	}
+	f.SetDown("b", false)
+	if f.Down("b") {
+		t.Fatal("recovery not reported")
+	}
+}
+
+func TestMessageDroppedIfNodeDiesInFlight(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFabric(k, testProfile)
+	f.AddNode("a", 1)
+	f.AddNode("b", 1)
+	delivered := false
+	k.Go("recv", func(p *Proc) {
+		f.Node("b").Recv(p)
+		delivered = true
+	})
+	k.Go("sender", func(p *Proc) {
+		f.Send(p, Message{From: "a", To: "b", Size: 1 << 20})
+	})
+	// Kill b before the bulk arrives (~1ms for 1MB at 1GB/s).
+	k.After(100*time.Microsecond, func() { f.SetDown("b", true) })
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if delivered {
+		t.Fatal("message delivered to node that died in flight")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	k := NewKernel(1)
+	f := NewFabric(k, testProfile)
+	f.AddNode("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	f.AddNode("a", 1)
+}

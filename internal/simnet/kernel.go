@@ -1,0 +1,219 @@
+// Package simnet is a deterministic discrete-event simulator with
+// cooperative processes. It stands in for the paper's InfiniBand
+// testbeds: protocol code is written in ordinary blocking style inside
+// Procs, while virtual time advances only through the event queue, so
+// a simulated 150-client, 5-server experiment runs in milliseconds of
+// wall time and produces bit-identical results on every run.
+//
+// Exactly one Proc executes at a time (strict goroutine handoff), and
+// all ordering comes from the (time, sequence) event queue, which is
+// what makes the simulation deterministic.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Kernel owns virtual time, the event queue and the run queue.
+// Create one with NewKernel, spawn processes with Go, then call Run.
+type Kernel struct {
+	now      time.Duration
+	seq      uint64
+	events   eventHeap
+	runq     []*Proc
+	seed     int64
+	live     map[*Proc]struct{}
+	shutdown bool
+	failure  any // first panic captured from a proc
+}
+
+// shutdownSentinel unwinds a parked proc during Kernel.Shutdown.
+type shutdownSentinel struct{}
+
+// event fires a callback at a virtual time.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{seed: seed, live: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns a deterministic random stream named by label. The same
+// (seed, label) always yields the same stream.
+func (k *Kernel) Rand(label string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return rand.New(rand.NewSource(k.seed ^ int64(h.Sum64())))
+}
+
+// At schedules fn to run at virtual time t (clamped to now).
+func (k *Kernel) At(t time.Duration, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
+
+// Proc is a simulated process. Its methods must only be called from
+// inside the process's own function.
+type Proc struct {
+	k    *Kernel
+	name string
+	run  chan struct{} // kernel -> proc: resume
+	park chan struct{} // proc -> kernel: parked or finished
+	dead bool
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Go spawns a new process. It may be called before Run or from inside
+// any running process.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:    k,
+		name: name,
+		run:  make(chan struct{}),
+		park: make(chan struct{}),
+	}
+	k.live[p] = struct{}{}
+	go func() {
+		<-p.run
+		defer func() {
+			if r := recover(); r != nil {
+				if _, quiet := r.(shutdownSentinel); !quiet && k.failure == nil {
+					k.failure = fmt.Sprintf("proc %q panicked: %v", p.name, r)
+				}
+			}
+			p.dead = true
+			delete(k.live, p)
+			p.park <- struct{}{}
+		}()
+		if !k.shutdown {
+			fn(p)
+		}
+	}()
+	k.ready(p)
+	return p
+}
+
+// Go spawns a child process from within a running process.
+func (p *Proc) Go(name string, fn func(p *Proc)) *Proc { return p.k.Go(name, fn) }
+
+// ready puts p on the run queue.
+func (k *Kernel) ready(p *Proc) {
+	if p.dead {
+		return
+	}
+	k.runq = append(k.runq, p)
+}
+
+// block parks the calling process until something calls
+// k.ready(p) again. It must only be called from inside p.
+func (p *Proc) block() {
+	p.park <- struct{}{}
+	<-p.run
+	if p.k.shutdown {
+		panic(shutdownSentinel{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.After(d, func() { k.ready(p) })
+	p.block()
+}
+
+// Yield reschedules the process behind everything currently runnable
+// at this instant.
+func (p *Proc) Yield() {
+	k := p.k
+	k.ready(p)
+	p.block()
+}
+
+// resume runs p until it parks or finishes.
+func (k *Kernel) resume(p *Proc) {
+	p.run <- struct{}{}
+	<-p.park
+}
+
+// Run drives the simulation until no process is runnable and no event
+// is pending, or until virtual time exceeds limit (0 = no limit). It
+// returns the virtual time at which the simulation quiesced.
+func (k *Kernel) Run(limit time.Duration) (time.Duration, error) {
+	for {
+		if k.failure != nil {
+			return k.now, fmt.Errorf("simnet: %v", k.failure)
+		}
+		if len(k.runq) > 0 {
+			p := k.runq[0]
+			k.runq = k.runq[1:]
+			if p.dead {
+				continue
+			}
+			k.resume(p)
+			continue
+		}
+		if k.events.Len() == 0 {
+			return k.now, nil
+		}
+		e := heap.Pop(&k.events).(event)
+		if limit > 0 && e.at > limit {
+			return k.now, fmt.Errorf("simnet: exceeded virtual time limit %v", limit)
+		}
+		k.now = e.at
+		e.fn()
+	}
+}
+
+// Shutdown unwinds every parked process so their goroutines exit. Call
+// it after Run when processes (such as server loops) are still blocked
+// on channels. The kernel must not be used afterwards.
+func (k *Kernel) Shutdown() {
+	k.shutdown = true
+	for len(k.live) > 0 {
+		for p := range k.live {
+			k.resume(p)
+			break // the map changed; restart iteration
+		}
+	}
+}

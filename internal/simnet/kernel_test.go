@@ -1,0 +1,350 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel(1)
+	var woke time.Duration
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = p.Now()
+	})
+	end, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5*time.Second {
+		t.Fatalf("woke at %v", woke)
+	}
+	if end != 5*time.Second {
+		t.Fatalf("run ended at %v", end)
+	}
+}
+
+func TestVirtualTimeIsFast(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("long", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(time.Hour)
+		}
+	})
+	start := time.Now()
+	end, err := k.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 1000*time.Hour {
+		t.Fatalf("virtual end %v", end)
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("1000 virtual hours took %v wall time", wall)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.At(3*time.Second, func() { order = append(order, "c") })
+	k.At(1*time.Second, func() { order = append(order, "a") })
+	k.At(2*time.Second, func() { order = append(order, "b") })
+	k.At(1*time.Second, func() { order = append(order, "a2") }) // same time: FIFO by seq
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "a,a2,b,c" {
+		t.Fatalf("order %q", got)
+	}
+}
+
+func TestMultipleProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(42)
+		var trace []string
+		for i := 0; i < 3; i++ {
+			i := i
+			k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(time.Duration(i+1) * time.Millisecond)
+					trace = append(trace, fmt.Sprintf("p%d@%v", i, p.Now()))
+				}
+			})
+		}
+		if _, err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a := strings.Join(run(), ";")
+	b := strings.Join(run(), ";")
+	if a != b {
+		t.Fatalf("non-deterministic traces:\n%s\n%s", a, b)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel(1)
+	var childRan bool
+	k.Go("parent", func(p *Proc) {
+		p.Go("child", func(c *Proc) {
+			c.Sleep(time.Second)
+			childRan = true
+		})
+		p.Sleep(2 * time.Second)
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child did not run")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("boom", func(p *Proc) {
+		p.Sleep(time.Second)
+		panic("exploded")
+	})
+	if _, err := k.Run(0); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("forever", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+		}
+	})
+	if _, err := k.Run(10 * time.Second); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestShutdownUnblocksParkedProcs(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	k.Go("blocked-forever", func(p *Proc) {
+		ch.Recv(p) // never satisfied
+	})
+	k.Go("done", func(p *Proc) { p.Sleep(time.Second) })
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if len(k.live) != 0 {
+		t.Fatalf("%d procs still live after Shutdown", len(k.live))
+	}
+}
+
+func TestRandStreamsDeterministic(t *testing.T) {
+	a := NewKernel(7).Rand("client-0")
+	b := NewKernel(7).Rand("client-0")
+	c := NewKernel(7).Rand("client-1")
+	same, diff := true, true
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Int63(), b.Int63(), c.Int63()
+		if av != bv {
+			same = false
+		}
+		if av != cv {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("same label gave different streams")
+	}
+	if diff {
+		t.Fatal("different labels gave identical streams")
+	}
+}
+
+func TestYield(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "a1,b1,a2" {
+		t.Fatalf("order %q", got)
+	}
+}
+
+func TestChanBuffered(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 2)
+	var got []int
+	k.Go("producer", func(p *Proc) {
+		for i := 1; i <= 4; i++ {
+			ch.Send(p, i)
+		}
+	})
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(time.Millisecond)
+			got = append(got, ch.Recv(p))
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChanUnbufferedRendezvous(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[string](k, 0)
+	var sendDone, recvAt time.Duration
+	k.Go("sender", func(p *Proc) {
+		ch.Send(p, "hi")
+		sendDone = p.Now()
+	})
+	k.Go("receiver", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		if v := ch.Recv(p); v != "hi" {
+			t.Errorf("recv %q", v)
+		}
+		recvAt = p.Now()
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 3*time.Second {
+		t.Fatalf("recv at %v", recvAt)
+	}
+	if sendDone != 3*time.Second {
+		t.Fatalf("unbuffered send completed at %v, want at rendezvous", sendDone)
+	}
+}
+
+func TestChanTryOps(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 1)
+	if _, ok := ch.TryRecv(); ok {
+		t.Fatal("TryRecv on empty succeeded")
+	}
+	if !ch.TrySend(1) {
+		t.Fatal("TrySend on empty failed")
+	}
+	if ch.TrySend(2) {
+		t.Fatal("TrySend on full succeeded")
+	}
+	if ch.Len() != 1 {
+		t.Fatalf("len %d", ch.Len())
+	}
+	if v, ok := ch.TryRecv(); !ok || v != 1 {
+		t.Fatalf("TryRecv = %d, %v", v, ok)
+	}
+}
+
+func TestChanFIFOWakeup(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go(fmt.Sprintf("r%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // enforce arrival order
+			ch.Recv(p)
+			order = append(order, i)
+		})
+	}
+	k.Go("sender", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			ch.Send(p, i)
+		}
+	})
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1 2]" {
+		t.Fatalf("wakeup order %v", order)
+	}
+}
+
+func TestResourceFIFOAndContention(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Use(p, time.Second)
+			finish = append(finish, p.Now())
+		})
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish %v, want %v", finish, want)
+		}
+	}
+	if r.BusyTime() != 3*time.Second {
+		t.Fatalf("busy %v", r.BusyTime())
+	}
+	if u := r.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource(k, 4)
+	var maxEnd time.Duration
+	for i := 0; i < 4; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Use(p, time.Second)
+			if p.Now() > maxEnd {
+				maxEnd = p.Now()
+			}
+		})
+	}
+	if _, err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if maxEnd != time.Second {
+		t.Fatalf("4 jobs on 4 slots ended at %v, want 1s", maxEnd)
+	}
+}
+
+func TestTimelineSerialization(t *testing.T) {
+	k := NewKernel(1)
+	tl := NewTimeline(k)
+	s1, e1 := tl.Reserve(time.Second)
+	s2, e2 := tl.Reserve(time.Second)
+	if s1 != 0 || e1 != time.Second {
+		t.Fatalf("first reservation [%v,%v]", s1, e1)
+	}
+	if s2 != time.Second || e2 != 2*time.Second {
+		t.Fatalf("second reservation [%v,%v]", s2, e2)
+	}
+	s3, _ := tl.ReserveAfter(10*time.Second, time.Second)
+	if s3 != 10*time.Second {
+		t.Fatalf("ReserveAfter start %v", s3)
+	}
+	if tl.BusyTime() != 3*time.Second {
+		t.Fatalf("busy %v", tl.BusyTime())
+	}
+	if tl.Free() != 11*time.Second {
+		t.Fatalf("free %v", tl.Free())
+	}
+}

@@ -1,0 +1,133 @@
+package simnet
+
+import "time"
+
+// Resource is a counting semaphore with FIFO admission, modelling a
+// pool of identical servers: worker threads, CPU cores, disk heads.
+type Resource struct {
+	k     *Kernel
+	cap   int
+	inUse int
+	waitq []*Proc
+
+	// Busy accumulates capacity-seconds of use, for utilization
+	// reports.
+	busy time.Duration
+	last time.Duration
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Resource{k: k, cap: capacity}
+}
+
+func (r *Resource) account() {
+	now := r.k.Now()
+	r.busy += time.Duration(r.inUse) * (now - r.last)
+	r.last = now
+}
+
+// Acquire takes one slot, blocking p in FIFO order when all are busy.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waitq = append(r.waitq, p)
+	p.block()
+	// The releaser transferred its slot to us; accounting was done
+	// there.
+}
+
+// Release frees one slot, waking the longest-waiting process.
+func (r *Resource) Release() {
+	r.account()
+	if len(r.waitq) > 0 {
+		// Hand the slot directly to the next waiter: inUse stays.
+		p := r.waitq[0]
+		r.waitq = r.waitq[1:]
+		r.k.ready(p)
+		return
+	}
+	r.inUse--
+}
+
+// Use occupies one slot for d of virtual time: Acquire, Sleep(d),
+// Release. This is the service-time primitive for modelling worker
+// pools.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse returns the number of held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waitq) }
+
+// BusyTime returns accumulated capacity-time of use up to now.
+func (r *Resource) BusyTime() time.Duration {
+	r.account()
+	return r.busy
+}
+
+// Utilization returns BusyTime divided by capacity times elapsed.
+func (r *Resource) Utilization() float64 {
+	elapsed := r.k.Now()
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(time.Duration(r.cap)*elapsed)
+}
+
+// Timeline serializes variable-duration work on a single facility —
+// the transmit path of a NIC, a disk. Unlike Resource it is not
+// process-blocking: Reserve returns the interval assigned to n units
+// of work and advances the horizon, and the caller sleeps as needed.
+type Timeline struct {
+	k    *Kernel
+	free time.Duration // earliest time new work can start
+	busy time.Duration
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline(k *Kernel) *Timeline { return &Timeline{k: k} }
+
+// Reserve books d of exclusive facility time starting no earlier than
+// the current virtual time, returning the work's start and end times.
+func (t *Timeline) Reserve(d time.Duration) (start, end time.Duration) {
+	return t.ReserveAfter(t.k.Now(), d)
+}
+
+// ReserveAfter books d of exclusive facility time starting no earlier
+// than earliest (or the current virtual time, whichever is later).
+func (t *Timeline) ReserveAfter(earliest, d time.Duration) (start, end time.Duration) {
+	start = t.k.Now()
+	if earliest > start {
+		start = earliest
+	}
+	if t.free > start {
+		start = t.free
+	}
+	end = start + d
+	t.free = end
+	t.busy += d
+	return start, end
+}
+
+// Free returns the earliest time new work could start.
+func (t *Timeline) Free() time.Duration {
+	if now := t.k.Now(); now > t.free {
+		return now
+	}
+	return t.free
+}
+
+// BusyTime returns total reserved time.
+func (t *Timeline) BusyTime() time.Duration { return t.busy }

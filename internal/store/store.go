@@ -1,0 +1,293 @@
+// Package store implements the server-side in-memory item store: a
+// sharded hash table with per-shard LRU eviction, lazy TTL expiry, and
+// byte-accurate memory accounting. It plays the role Memcached's slab
+// cache plays in the paper: a volatile store whose evictions under
+// memory pressure are exactly the "data loss" the replication scheme
+// suffers in Figure 10.
+package store
+
+import (
+	"container/list"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// ItemOverhead approximates the per-item metadata cost (hash entry,
+// LRU links, expiry), mirroring Memcached's ~50-60 byte item header.
+const ItemOverhead = 56
+
+// DefaultShards is the default shard count.
+const DefaultShards = 16
+
+// ErrOutOfMemory is returned by Set when the item cannot fit even
+// after evicting (item larger than a shard's budget), or when eviction
+// is disabled and the shard is full.
+var ErrOutOfMemory = errors.New("store: out of memory")
+
+// ErrValueTooLarge is returned when a single item exceeds the whole
+// store budget.
+var ErrValueTooLarge = errors.New("store: value exceeds store capacity")
+
+// Config configures a Store.
+type Config struct {
+	// MaxBytes is the total memory budget across all shards.
+	// Zero means unlimited.
+	MaxBytes int64
+	// Shards is the number of shards (DefaultShards if zero).
+	Shards int
+	// DisableEviction makes Set fail with ErrOutOfMemory instead of
+	// evicting LRU items when full.
+	DisableEviction bool
+	// Now supplies the time for TTL handling (time.Now if nil).
+	Now func() time.Time
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Items      int64
+	UsedBytes  int64
+	MaxBytes   int64
+	Gets       int64
+	Hits       int64
+	Misses     int64
+	Sets       int64
+	Deletes    int64
+	Evictions  int64
+	EvictBytes int64
+	Expired    int64
+	Failures   int64
+}
+
+// Store is the sharded item store. It is safe for concurrent use.
+type Store struct {
+	shards []*shard
+	now    func() time.Time
+}
+
+type shard struct {
+	mu       sync.Mutex
+	items    map[string]*list.Element
+	lru      *list.List // front = most recent
+	maxBytes int64
+	used     int64
+	noEvict  bool
+	now      func() time.Time
+	stats    Stats
+}
+
+type entry struct {
+	key       string
+	value     []byte
+	expiresAt time.Time // zero means no expiry
+	size      int64
+}
+
+// New returns a Store with the given configuration.
+func New(cfg Config) *Store {
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	var perShard int64
+	if cfg.MaxBytes > 0 {
+		perShard = cfg.MaxBytes / int64(n)
+		if perShard == 0 {
+			perShard = 1
+		}
+	}
+	s := &Store{shards: make([]*shard, n), now: now}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			items:    make(map[string]*list.Element),
+			lru:      list.New(),
+			maxBytes: perShard,
+			noEvict:  cfg.DisableEviction,
+			now:      now,
+		}
+	}
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+func itemSize(key string, value []byte) int64 {
+	return int64(len(key)) + int64(len(value)) + ItemOverhead
+}
+
+// Set stores value under key with the given TTL (0 = no expiry). The
+// value is copied. Set returns ErrOutOfMemory if the item cannot fit.
+func (s *Store) Set(key string, value []byte, ttl time.Duration) error {
+	sh := s.shardFor(key)
+	size := itemSize(key, value)
+	var expires time.Time
+	if ttl > 0 {
+		expires = s.now().Add(ttl)
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Sets++
+	if sh.maxBytes > 0 && size > sh.maxBytes {
+		sh.stats.Failures++
+		return ErrValueTooLarge
+	}
+	if el, ok := sh.items[key]; ok {
+		sh.used -= el.Value.(*entry).size
+		sh.lru.Remove(el)
+		delete(sh.items, key)
+	}
+	if sh.maxBytes > 0 {
+		for sh.used+size > sh.maxBytes {
+			if sh.noEvict {
+				sh.stats.Failures++
+				return ErrOutOfMemory
+			}
+			if !sh.evictOldestLocked() {
+				sh.stats.Failures++
+				return ErrOutOfMemory
+			}
+		}
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	e := &entry{key: key, value: v, expiresAt: expires, size: size}
+	sh.items[key] = sh.lru.PushFront(e)
+	sh.used += size
+	return nil
+}
+
+// evictOldestLocked removes the LRU entry; returns false if empty.
+func (sh *shard) evictOldestLocked() bool {
+	el := sh.lru.Back()
+	if el == nil {
+		return false
+	}
+	e := el.Value.(*entry)
+	sh.removeLocked(el, e)
+	sh.stats.Evictions++
+	sh.stats.EvictBytes += e.size
+	return true
+}
+
+func (sh *shard) removeLocked(el *list.Element, e *entry) {
+	sh.lru.Remove(el)
+	delete(sh.items, e.key)
+	sh.used -= e.size
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Gets++
+	el, ok := sh.items[key]
+	if !ok {
+		sh.stats.Misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expiresAt.IsZero() && !sh.now().Before(e.expiresAt) {
+		sh.removeLocked(el, e)
+		sh.stats.Expired++
+		sh.stats.Misses++
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.stats.Hits++
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	sh.removeLocked(el, el.Value.(*entry))
+	sh.stats.Deletes++
+	return true
+}
+
+// Len returns the number of stored items (including not-yet-expired).
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// UsedBytes returns the accounted memory across all shards.
+func (s *Store) UsedBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.used
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MaxBytes returns the configured total budget (0 = unlimited).
+func (s *Store) MaxBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.maxBytes
+	}
+	return n
+}
+
+// Stats returns aggregated counters across all shards.
+func (s *Store) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.stats
+		st.Items = int64(len(sh.items))
+		st.UsedBytes = sh.used
+		st.MaxBytes = sh.maxBytes
+		sh.mu.Unlock()
+		out.Items += st.Items
+		out.UsedBytes += st.UsedBytes
+		out.MaxBytes += st.MaxBytes
+		out.Gets += st.Gets
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Sets += st.Sets
+		out.Deletes += st.Deletes
+		out.Evictions += st.Evictions
+		out.EvictBytes += st.EvictBytes
+		out.Expired += st.Expired
+		out.Failures += st.Failures
+	}
+	return out
+}
+
+// Flush removes every item.
+func (s *Store) Flush() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.items = make(map[string]*list.Element)
+		sh.lru.Init()
+		sh.used = 0
+		sh.mu.Unlock()
+	}
+}

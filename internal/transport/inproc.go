@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Inproc is an in-process Network. Connections are buffered duplex
+// pipes; an optional Shape emulates link latency and bandwidth. It is
+// safe for concurrent use. The zero value is not usable; call NewInproc.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	shape     Shape
+}
+
+// NewInproc returns an in-process network with the given link shape
+// (use Shape{} for an ideal, instantaneous network).
+func NewInproc(shape Shape) *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener), shape: shape}
+}
+
+var _ Network = (*Inproc)(nil)
+
+// Listen binds addr.
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, ErrAddrInUse
+	}
+	l := &inprocListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan Conn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr, failing with ErrConnRefused if nothing
+// listens there.
+func (n *Inproc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrConnRefused
+	}
+	c2s := newPipe(n.shape)
+	s2c := newPipe(n.shape)
+	clientConn := &pipeConn{r: s2c, w: c2s}
+	serverConn := &pipeConn{r: c2s, w: s2c}
+	select {
+	case l.accept <- serverConn:
+		return clientConn, nil
+	case <-l.done:
+		return nil, ErrConnRefused
+	}
+}
+
+type inprocListener struct {
+	net    *Inproc
+	addr   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// pipeConn joins two unidirectional pipes into a Conn.
+type pipeConn struct {
+	r, w *pipe
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// Close shuts both directions: the peer's reads drain then EOF, and
+// the peer's writes fail.
+func (c *pipeConn) Close() error {
+	c.r.Close()
+	c.w.Close()
+	return nil
+}
+
+// segment is a block of written bytes that becomes readable at ready.
+type segment struct {
+	data  []byte
+	ready time.Time
+}
+
+// pipe is a unidirectional buffered byte stream with optional shaping.
+type pipe struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	segs     []segment
+	closed   bool
+	shape    Shape
+	lastDone time.Time // when the link finishes the previous segment
+}
+
+func newPipe(shape Shape) *pipe {
+	p := &pipe{shape: shape}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) Write(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	ready := time.Time{}
+	if !p.shape.zero() {
+		now := time.Now()
+		start := now
+		if p.lastDone.After(start) {
+			start = p.lastDone
+		}
+		done := start.Add(p.shape.delay(len(data)))
+		p.lastDone = done
+		ready = done.Add(p.shape.Latency)
+	}
+	p.segs = append(p.segs, segment{data: data, ready: ready})
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if len(p.segs) > 0 {
+			seg := &p.segs[0]
+			if seg.ready.IsZero() || !time.Now().Before(seg.ready) {
+				n := copy(b, seg.data)
+				seg.data = seg.data[n:]
+				if len(seg.data) == 0 {
+					p.segs = p.segs[1:]
+				}
+				return n, nil
+			}
+			// Shaped segment not yet deliverable: sleep until it is,
+			// releasing the lock meanwhile.
+			wait := time.Until(seg.ready)
+			p.mu.Unlock()
+			time.Sleep(wait)
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			return 0, errEOF
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *pipe) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+)
+
+// errEOF is what pipe reads return after close-and-drain; it aliases
+// io.EOF so stream consumers treat it as a clean end of stream.
+var errEOF = io.EOF
+
+// TCP is the Network backed by the operating system's TCP stack.
+type TCP struct{}
+
+var _ Network = TCP{}
+
+// Listen binds a TCP address such as "127.0.0.1:11211" (or ":0" for an
+// ephemeral port; use Listener.Addr to discover it).
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP address.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// The protocol is latency-sensitive request/response framing.
+		_ = tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return c, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }

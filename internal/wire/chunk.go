@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+	"time"
+)
+
+// stripeCounter disambiguates stripe IDs minted in the same clock
+// tick.
+var stripeCounter atomic.Uint64
+
+// NewStripeID mints a stripe identifier for one logical write:
+// time-ordered at microsecond granularity (so later writes usually
+// carry higher IDs and win last-write-wins ties) with a counter in the
+// low bits for uniqueness under concurrency.
+func NewStripeID() uint64 {
+	return (uint64(time.Now().UnixNano()) << 10) | (stripeCounter.Add(1) & 0x3FF)
+}
+
+// chunkMagic marks a self-describing chunk payload.
+const chunkMagic = 0xEC
+
+// chunkHeaderLen is the length of the chunk payload header:
+// magic, index, K, M, totalLen(4), stripe(8), crc32(4).
+const chunkHeaderLen = 20
+
+// ErrChunkCorrupt is returned by DecodeChunkPayload when the stored
+// CRC does not match the chunk bytes — silent corruption that the
+// erasure code can then repair from parity.
+var ErrChunkCorrupt = fmt.Errorf("%w: chunk CRC mismatch", ErrMalformed)
+
+// EncodeChunkPayload prefixes chunk with a self-describing header so
+// any server or recovering client can interpret a stored chunk in
+// isolation: magic, chunk index, K, M, the original value length, the
+// stripe ID of the write that produced it, and a CRC32 of the chunk
+// bytes for end-to-end corruption detection.
+func EncodeChunkPayload(meta ECMeta, chunk []byte) []byte {
+	out := make([]byte, chunkHeaderLen+len(chunk))
+	out[0] = chunkMagic
+	out[1] = meta.ChunkIndex
+	out[2] = meta.K
+	out[3] = meta.M
+	binary.BigEndian.PutUint32(out[4:8], meta.TotalLen)
+	binary.BigEndian.PutUint64(out[8:16], meta.Stripe)
+	binary.BigEndian.PutUint32(out[16:20], crc32.ChecksumIEEE(chunk))
+	copy(out[chunkHeaderLen:], chunk)
+	return out
+}
+
+// DecodeChunkPayload splits a stored chunk payload into its metadata
+// and chunk bytes, verifying the CRC. The returned chunk aliases
+// payload.
+func DecodeChunkPayload(payload []byte) (ECMeta, []byte, error) {
+	if len(payload) < chunkHeaderLen || payload[0] != chunkMagic {
+		return ECMeta{}, nil, fmt.Errorf("%w: not a chunk payload", ErrMalformed)
+	}
+	meta := ECMeta{
+		ChunkIndex: payload[1],
+		K:          payload[2],
+		M:          payload[3],
+		TotalLen:   binary.BigEndian.Uint32(payload[4:8]),
+		Stripe:     binary.BigEndian.Uint64(payload[8:16]),
+	}
+	if meta.K == 0 || int(meta.ChunkIndex) >= int(meta.K)+int(meta.M) {
+		return ECMeta{}, nil, fmt.Errorf("%w: inconsistent chunk metadata %+v", ErrMalformed, meta)
+	}
+	chunk := payload[chunkHeaderLen:]
+	if crc32.ChecksumIEEE(chunk) != binary.BigEndian.Uint32(payload[16:20]) {
+		return ECMeta{}, nil, ErrChunkCorrupt
+	}
+	return meta, chunk, nil
+}
+
+// ChunkCollector groups fetched chunks by stripe so decoding never
+// mixes chunks from different writes of the same key. With concurrent
+// writers, a key's chunk set can transiently hold a blend of stripes;
+// the collector selects one complete (>= K chunks) stripe — preferring
+// the most complete group, then the highest stripe ID (approximate
+// last-write-wins).
+type ChunkCollector struct {
+	k, n   int
+	groups map[uint64]*stripeGroup
+}
+
+type stripeGroup struct {
+	stripe   uint64
+	totalLen uint32
+	chunks   [][]byte
+	count    int
+}
+
+// NewChunkCollector returns a collector for an RS stripe of k data
+// chunks out of n total.
+func NewChunkCollector(k, n int) *ChunkCollector {
+	return &ChunkCollector{k: k, n: n, groups: make(map[uint64]*stripeGroup)}
+}
+
+// Add records a fetched chunk. Chunks with an index outside [0, n) are
+// ignored.
+func (c *ChunkCollector) Add(meta ECMeta, chunk []byte) {
+	idx := int(meta.ChunkIndex)
+	if idx < 0 || idx >= c.n {
+		return
+	}
+	g, ok := c.groups[meta.Stripe]
+	if !ok {
+		g = &stripeGroup{stripe: meta.Stripe, totalLen: meta.TotalLen, chunks: make([][]byte, c.n)}
+		c.groups[meta.Stripe] = g
+	}
+	if g.chunks[idx] == nil {
+		g.chunks[idx] = chunk
+		g.count++
+	}
+}
+
+// Decodable reports whether some stripe already has >= K chunks.
+func (c *ChunkCollector) Decodable() bool {
+	for _, g := range c.groups {
+		if g.count >= c.k {
+			return true
+		}
+	}
+	return false
+}
+
+// Best returns the chunks of the winning stripe (most chunks, ties to
+// the highest stripe ID) together with its metadata, and false when no
+// stripe has at least K chunks. The returned slice has length n with
+// nil entries for missing chunks, ready for Reconstruct.
+func (c *ChunkCollector) Best() (stripe uint64, totalLen uint32, chunks [][]byte, ok bool) {
+	var best *stripeGroup
+	for _, g := range c.groups {
+		if g.count < c.k {
+			continue
+		}
+		if best == nil || g.count > best.count || (g.count == best.count && g.stripe > best.stripe) {
+			best = g
+		}
+	}
+	if best == nil {
+		return 0, 0, nil, false
+	}
+	return best.stripe, best.totalLen, best.chunks, true
+}
+
+// Seen returns the number of chunks accepted across all stripes.
+func (c *ChunkCollector) Seen() int {
+	total := 0
+	for _, g := range c.groups {
+		total += g.count
+	}
+	return total
+}

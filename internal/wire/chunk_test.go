@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkPayloadRoundTrip(t *testing.T) {
+	meta := ECMeta{ChunkIndex: 3, K: 3, M: 2, TotalLen: 1_000_000}
+	chunk := []byte("chunk-bytes")
+	payload := EncodeChunkPayload(meta, chunk)
+	gotMeta, gotChunk, err := DecodeChunkPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta %+v", gotMeta)
+	}
+	if !bytes.Equal(gotChunk, chunk) {
+		t.Fatalf("chunk %q", gotChunk)
+	}
+}
+
+func TestChunkPayloadEmptyChunk(t *testing.T) {
+	payload := EncodeChunkPayload(ECMeta{ChunkIndex: 0, K: 1, M: 0, TotalLen: 0}, nil)
+	meta, chunk, err := DecodeChunkPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk) != 0 || meta.K != 1 {
+		t.Fatalf("meta %+v chunk %v", meta, chunk)
+	}
+}
+
+func TestChunkPayloadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("not a chunk payload at all"),
+		EncodeChunkPayload(ECMeta{ChunkIndex: 9, K: 3, M: 2, TotalLen: 10}, []byte("x")), // idx >= k+m
+		EncodeChunkPayload(ECMeta{ChunkIndex: 0, K: 0, M: 2, TotalLen: 10}, []byte("x")), // k == 0
+	}
+	for i, payload := range cases {
+		if _, _, err := DecodeChunkPayload(payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestChunkPayloadDetectsBitRot(t *testing.T) {
+	payload := EncodeChunkPayload(ECMeta{ChunkIndex: 1, K: 3, M: 2, TotalLen: 100}, []byte("chunk-data-here"))
+	// Flip one bit in the chunk body.
+	payload[len(payload)-3] ^= 0x01
+	if _, _, err := DecodeChunkPayload(payload); !errors.Is(err, ErrChunkCorrupt) {
+		t.Fatalf("got %v, want ErrChunkCorrupt", err)
+	}
+}
+
+func TestChunkPayloadQuick(t *testing.T) {
+	f := func(chunk []byte, idx, k, m uint8, total uint32) bool {
+		if k == 0 {
+			k = 1
+		}
+		if int(k)+int(m) > 255 {
+			m = 0
+		}
+		idx = idx % (k + m) // keep metadata consistent
+		meta := ECMeta{ChunkIndex: idx, K: k, M: m, TotalLen: total}
+		gotMeta, gotChunk, err := DecodeChunkPayload(EncodeChunkPayload(meta, chunk))
+		return err == nil && gotMeta == meta && bytes.Equal(gotChunk, chunk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

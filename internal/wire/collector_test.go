@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"testing"
+)
+
+func addChunk(c *ChunkCollector, stripe uint64, idx int, body byte) {
+	c.Add(ECMeta{ChunkIndex: uint8(idx), K: 3, M: 2, TotalLen: 10, Stripe: stripe}, []byte{body})
+}
+
+func TestCollectorSingleStripe(t *testing.T) {
+	c := NewChunkCollector(3, 5)
+	if c.Decodable() {
+		t.Fatal("empty collector decodable")
+	}
+	addChunk(c, 7, 0, 'a')
+	addChunk(c, 7, 1, 'b')
+	if c.Decodable() {
+		t.Fatal("2 of 3 chunks decodable")
+	}
+	addChunk(c, 7, 4, 'e')
+	if !c.Decodable() {
+		t.Fatal("3 chunks not decodable")
+	}
+	stripe, totalLen, chunks, ok := c.Best()
+	if !ok || stripe != 7 || totalLen != 10 {
+		t.Fatalf("Best = %d %d %v", stripe, totalLen, ok)
+	}
+	if chunks[0] == nil || chunks[1] == nil || chunks[4] == nil || chunks[2] != nil {
+		t.Fatalf("chunk layout wrong: %v", chunks)
+	}
+	if c.Seen() != 3 {
+		t.Fatalf("Seen = %d", c.Seen())
+	}
+}
+
+func TestCollectorPrefersMostCompleteStripe(t *testing.T) {
+	c := NewChunkCollector(3, 5)
+	// Old stripe (id 100) has 4 chunks; new stripe (id 200) has 3.
+	for i := 0; i < 4; i++ {
+		addChunk(c, 100, i, 'o')
+	}
+	for i := 0; i < 3; i++ {
+		addChunk(c, 200, i, 'n')
+	}
+	stripe, _, _, ok := c.Best()
+	if !ok || stripe != 100 {
+		t.Fatalf("Best stripe = %d, want the more complete 100", stripe)
+	}
+}
+
+func TestCollectorTieBreaksToNewerStripe(t *testing.T) {
+	c := NewChunkCollector(3, 5)
+	for i := 0; i < 3; i++ {
+		addChunk(c, 100, i, 'o')
+		addChunk(c, 200, i, 'n')
+	}
+	stripe, _, _, ok := c.Best()
+	if !ok || stripe != 200 {
+		t.Fatalf("Best stripe = %d, want the newer 200 on a tie", stripe)
+	}
+}
+
+func TestCollectorNoDecodableStripe(t *testing.T) {
+	c := NewChunkCollector(3, 5)
+	// Two chunks each of two stripes: 4 chunks total but no stripe
+	// reaches K = 3 — the torn state grouped decoding must reject.
+	addChunk(c, 100, 0, 'o')
+	addChunk(c, 100, 1, 'o')
+	addChunk(c, 200, 2, 'n')
+	addChunk(c, 200, 3, 'n')
+	if c.Decodable() {
+		t.Fatal("mixed stripes reported decodable")
+	}
+	if _, _, _, ok := c.Best(); ok {
+		t.Fatal("Best returned a group below K")
+	}
+	if c.Seen() != 4 {
+		t.Fatalf("Seen = %d", c.Seen())
+	}
+}
+
+func TestCollectorIgnoresDuplicatesAndBadIndexes(t *testing.T) {
+	c := NewChunkCollector(3, 5)
+	addChunk(c, 1, 0, 'a')
+	addChunk(c, 1, 0, 'X')                                           // duplicate index: first wins
+	c.Add(ECMeta{ChunkIndex: 9, K: 3, M: 2, Stripe: 1}, []byte{'z'}) // out of range
+	if c.Seen() != 1 {
+		t.Fatalf("Seen = %d", c.Seen())
+	}
+	addChunk(c, 1, 1, 'b')
+	addChunk(c, 1, 2, 'c')
+	_, _, chunks, ok := c.Best()
+	if !ok || chunks[0][0] != 'a' {
+		t.Fatalf("duplicate overwrote original: %v", chunks[0])
+	}
+}
+
+func TestNewStripeIDMonotoneAndUnique(t *testing.T) {
+	seen := make(map[uint64]bool, 1000)
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		id := NewStripeID()
+		if seen[id] {
+			t.Fatalf("duplicate stripe id %d", id)
+		}
+		seen[id] = true
+		if id < prev {
+			// Counter wrap within one nanosecond tick can reorder
+			// slightly; large regressions indicate breakage.
+			if prev-id > 1<<12 {
+				t.Fatalf("stripe ids regressed: %d after %d", id, prev)
+			}
+		}
+		prev = id
+	}
+}

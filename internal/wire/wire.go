@@ -1,0 +1,381 @@
+// Package wire defines the binary request/response protocol spoken
+// between the key-value store client and servers (and between servers
+// for the server-side encode/decode schemes). It is a compact
+// memcached-binary-protocol-style framing with an extensions block
+// carrying the erasure-coding metadata each chunk needs to be
+// independently locatable and decodable.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+// Request opcodes.
+const (
+	// OpSet stores a whole value under a key.
+	OpSet Op = iota + 1
+	// OpGet fetches a whole value.
+	OpGet
+	// OpDelete removes a key.
+	OpDelete
+	// OpSetChunk stores one erasure-coded chunk (or one replica copy)
+	// under a derived chunk key.
+	OpSetChunk
+	// OpGetChunk fetches one chunk.
+	OpGetChunk
+	// OpEncodeSet asks the receiving server to split, encode and
+	// distribute the value itself (the server-side-encode schemes).
+	OpEncodeSet
+	// OpDecodeGet asks the receiving server to aggregate chunks from
+	// its peers, decode if needed, and return the whole value (the
+	// server-side-decode schemes).
+	OpDecodeGet
+	// OpStats returns server statistics.
+	OpStats
+	// OpPing is a liveness check.
+	OpPing
+)
+
+var opNames = map[Op]string{
+	OpSet:       "set",
+	OpGet:       "get",
+	OpDelete:    "delete",
+	OpSetChunk:  "set-chunk",
+	OpGetChunk:  "get-chunk",
+	OpEncodeSet: "encode-set",
+	OpDecodeGet: "decode-get",
+	OpStats:     "stats",
+	OpPing:      "ping",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a known opcode.
+func (o Op) Valid() bool {
+	_, ok := opNames[o]
+	return ok
+}
+
+// Status is a response status code.
+type Status uint8
+
+// Response status codes.
+const (
+	// StatusOK indicates success.
+	StatusOK Status = iota + 1
+	// StatusNotFound indicates the key (or chunk) does not exist.
+	StatusNotFound
+	// StatusOutOfMemory indicates the store evicted-to-capacity and
+	// still could not fit the item.
+	StatusOutOfMemory
+	// StatusError carries an error message in the response value.
+	StatusError
+)
+
+var statusNames = map[Status]string{
+	StatusOK:          "ok",
+	StatusNotFound:    "not-found",
+	StatusOutOfMemory: "out-of-memory",
+	StatusError:       "error",
+}
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Limits protecting against corrupt frames.
+const (
+	// MaxKeyLen bounds key length, larger than memcached's 250 to
+	// accommodate derived chunk keys.
+	MaxKeyLen = 512
+	// MaxValueLen bounds a single frame's value (16 MB, well above
+	// the paper's 1 MB pair sizes).
+	MaxValueLen = 16 << 20
+)
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge is returned when a frame exceeds the limits.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limits")
+	// ErrMalformed is returned for structurally invalid frames.
+	ErrMalformed = errors.New("wire: malformed frame")
+)
+
+// ECMeta is the erasure-coding metadata block attached to chunk
+// operations so that any server (or a recovering client) can interpret
+// a chunk in isolation.
+type ECMeta struct {
+	// ChunkIndex is this chunk's index in [0, K+M).
+	ChunkIndex uint8
+	// K is the number of data chunks.
+	K uint8
+	// M is the number of parity chunks.
+	M uint8
+	// TotalLen is the original (pre-split) value length in bytes.
+	TotalLen uint32
+	// Stripe identifies the write that produced this chunk. Chunks
+	// from different writes of the same key never mix during decode
+	// (stripe atomicity); higher stripe values win when complete
+	// groups compete, giving approximate last-write-wins.
+	Stripe uint64
+}
+
+// Request is a client-to-server (or server-to-server) message.
+type Request struct {
+	// ID correlates the response on a multiplexed connection.
+	ID uint64
+	// Op is the operation.
+	Op Op
+	// Key is the item key (for chunk ops, the derived chunk key).
+	Key string
+	// Value is the payload for writes; nil for reads.
+	Value []byte
+	// TTLSeconds is the item lifetime for Set-type operations;
+	// 0 means no expiry, as in memcached.
+	TTLSeconds uint32
+	// Meta carries EC metadata for chunk and encode/decode ops.
+	Meta ECMeta
+}
+
+// Response is a server-to-client message.
+type Response struct {
+	// ID echoes the request ID.
+	ID uint64
+	// Status is the outcome.
+	Status Status
+	// Value is the payload for reads, or the error text when Status
+	// is StatusError.
+	Value []byte
+	// Meta echoes/propagates EC metadata (a Get of a chunk returns
+	// the chunk's stored metadata so the client can decode).
+	Meta ECMeta
+}
+
+// Err converts an error response into a Go error (nil for StatusOK and
+// a typed sentinel where one exists).
+func (r *Response) Err() error {
+	switch r.Status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusOutOfMemory:
+		return ErrOutOfMemory
+	default:
+		return fmt.Errorf("wire: server error: %s", r.Value)
+	}
+}
+
+// Sentinel errors corresponding to response statuses.
+var (
+	// ErrNotFound mirrors StatusNotFound.
+	ErrNotFound = errors.New("wire: key not found")
+	// ErrOutOfMemory mirrors StatusOutOfMemory.
+	ErrOutOfMemory = errors.New("wire: server out of memory")
+)
+
+/*
+Frame layouts (all integers big-endian):
+
+Request:
+	u32  frameLen (bytes after this field)
+	u64  id
+	u8   op
+	u16  keyLen
+	u8   chunkIndex
+	u8   k
+	u8   m
+	u32  totalLen
+	u64  stripe
+	u32  ttlSeconds
+	u32  valueLen
+	...  key bytes
+	...  value bytes
+
+Response:
+	u32  frameLen
+	u64  id
+	u8   status
+	u8   chunkIndex
+	u8   k
+	u8   m
+	u32  totalLen
+	u64  stripe
+	u32  valueLen
+	...  value bytes
+*/
+
+const (
+	reqHeaderLen  = 8 + 1 + 2 + 1 + 1 + 1 + 4 + 8 + 4 + 4
+	respHeaderLen = 8 + 1 + 1 + 1 + 1 + 4 + 8 + 4
+)
+
+// AppendRequest serializes req onto buf and returns the extended slice.
+func AppendRequest(buf []byte, req *Request) ([]byte, error) {
+	if len(req.Key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: key %d bytes", ErrFrameTooLarge, len(req.Key))
+	}
+	if len(req.Value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooLarge, len(req.Value))
+	}
+	frameLen := reqHeaderLen + len(req.Key) + len(req.Value)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameLen))
+	buf = binary.BigEndian.AppendUint64(buf, req.ID)
+	buf = append(buf, byte(req.Op))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(req.Key)))
+	buf = append(buf, req.Meta.ChunkIndex, req.Meta.K, req.Meta.M)
+	buf = binary.BigEndian.AppendUint32(buf, req.Meta.TotalLen)
+	buf = binary.BigEndian.AppendUint64(buf, req.Meta.Stripe)
+	buf = binary.BigEndian.AppendUint32(buf, req.TTLSeconds)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Value)))
+	buf = append(buf, req.Key...)
+	buf = append(buf, req.Value...)
+	return buf, nil
+}
+
+// WriteRequest writes one request frame to w.
+func WriteRequest(w io.Writer, req *Request) error {
+	buf, err := AppendRequest(nil, req)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadRequest reads one request frame from r.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	body, err := readFrame(r, reqHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{
+		ID: binary.BigEndian.Uint64(body[0:8]),
+		Op: Op(body[8]),
+	}
+	keyLen := int(binary.BigEndian.Uint16(body[9:11]))
+	req.Meta = ECMeta{
+		ChunkIndex: body[11],
+		K:          body[12],
+		M:          body[13],
+		TotalLen:   binary.BigEndian.Uint32(body[14:18]),
+		Stripe:     binary.BigEndian.Uint64(body[18:26]),
+	}
+	req.TTLSeconds = binary.BigEndian.Uint32(body[26:30])
+	valueLen := int(binary.BigEndian.Uint32(body[30:34]))
+	if !req.Op.Valid() || keyLen > MaxKeyLen || valueLen > MaxValueLen {
+		return nil, ErrMalformed
+	}
+	if len(body) != reqHeaderLen+keyLen+valueLen {
+		return nil, fmt.Errorf("%w: frame length mismatch", ErrMalformed)
+	}
+	req.Key = string(body[reqHeaderLen : reqHeaderLen+keyLen])
+	if valueLen > 0 {
+		req.Value = append([]byte(nil), body[reqHeaderLen+keyLen:]...)
+	}
+	return req, nil
+}
+
+// AppendResponse serializes resp onto buf and returns the extended
+// slice.
+func AppendResponse(buf []byte, resp *Response) ([]byte, error) {
+	if len(resp.Value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooLarge, len(resp.Value))
+	}
+	frameLen := respHeaderLen + len(resp.Value)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameLen))
+	buf = binary.BigEndian.AppendUint64(buf, resp.ID)
+	buf = append(buf, byte(resp.Status))
+	buf = append(buf, resp.Meta.ChunkIndex, resp.Meta.K, resp.Meta.M)
+	buf = binary.BigEndian.AppendUint32(buf, resp.Meta.TotalLen)
+	buf = binary.BigEndian.AppendUint64(buf, resp.Meta.Stripe)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(resp.Value)))
+	buf = append(buf, resp.Value...)
+	return buf, nil
+}
+
+// WriteResponse writes one response frame to w.
+func WriteResponse(w io.Writer, resp *Response) error {
+	buf, err := AppendResponse(nil, resp)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadResponse reads one response frame from r.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	body, err := readFrame(r, respHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		ID:     binary.BigEndian.Uint64(body[0:8]),
+		Status: Status(body[8]),
+	}
+	resp.Meta = ECMeta{
+		ChunkIndex: body[9],
+		K:          body[10],
+		M:          body[11],
+		TotalLen:   binary.BigEndian.Uint32(body[12:16]),
+		Stripe:     binary.BigEndian.Uint64(body[16:24]),
+	}
+	valueLen := int(binary.BigEndian.Uint32(body[24:28]))
+	if valueLen > MaxValueLen {
+		return nil, ErrMalformed
+	}
+	if len(body) != respHeaderLen+valueLen {
+		return nil, fmt.Errorf("%w: frame length mismatch", ErrMalformed)
+	}
+	if valueLen > 0 {
+		resp.Value = append([]byte(nil), body[respHeaderLen:]...)
+	}
+	return resp, nil
+}
+
+// readFrame reads the length prefix and frame body, enforcing limits.
+func readFrame(r *bufio.Reader, minLen int) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF on clean close
+	}
+	frameLen := int(binary.BigEndian.Uint32(lenBuf[:]))
+	if frameLen < minLen {
+		return nil, fmt.Errorf("%w: frame too short (%d)", ErrMalformed, frameLen)
+	}
+	if frameLen > MaxValueLen+MaxKeyLen+reqHeaderLen {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, frameLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// ChunkKey derives the storage key for chunk idx of key. Replication
+// reuses it with the replica index.
+func ChunkKey(key string, idx int) string {
+	return fmt.Sprintf("%s\x00c%d", key, idx)
+}

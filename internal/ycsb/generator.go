@@ -1,0 +1,169 @@
+// Package ycsb reimplements the parts of the Yahoo! Cloud Serving
+// Benchmark the paper's evaluation uses: the scrambled Zipfian request
+// distribution ("skewed data popularity"), workloads A (update heavy,
+// 50:50) and B (read heavy, 95:5), and a multi-client runner that
+// reports read/write latency histograms and aggregate throughput
+// (Figures 11 and 12).
+package ycsb
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// ZipfianConstant is YCSB's default skew parameter.
+const ZipfianConstant = 0.99
+
+// Generator produces item indexes in [0, Items).
+type Generator interface {
+	// Next draws the next item index using rng.
+	Next(rng *rand.Rand) uint64
+	// Items returns the generator's item-space size.
+	Items() uint64
+}
+
+// Uniform draws uniformly from [0, n).
+type Uniform struct {
+	n uint64
+}
+
+// NewUniform returns a uniform generator over n items.
+func NewUniform(n uint64) *Uniform {
+	if n == 0 {
+		panic("ycsb: uniform generator needs n > 0")
+	}
+	return &Uniform{n: n}
+}
+
+var _ Generator = (*Uniform)(nil)
+
+// Next draws the next index.
+func (u *Uniform) Next(rng *rand.Rand) uint64 { return uint64(rng.Int63n(int64(u.n))) }
+
+// Items returns the item-space size.
+func (u *Uniform) Items() uint64 { return u.n }
+
+// Zipfian draws from a Zipfian distribution over [0, n) using the
+// Gray et al. rejection-free method, as in YCSB's ZipfianGenerator.
+// Item 0 is the most popular.
+type Zipfian struct {
+	items      uint64
+	theta      float64
+	zetan      float64
+	zeta2theta float64
+	alpha      float64
+	eta        float64
+}
+
+// NewZipfian returns a Zipfian generator over n items with the given
+// theta (use ZipfianConstant for YCSB's default).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	if n == 0 {
+		panic("ycsb: zipfian generator needs n > 0")
+	}
+	z := &Zipfian{items: n, theta: theta}
+	z.zeta2theta = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+var _ Generator = (*Zipfian)(nil)
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next index (0 is the hottest item).
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.items {
+		idx = z.items - 1
+	}
+	return idx
+}
+
+// Items returns the item-space size.
+func (z *Zipfian) Items() uint64 { return z.items }
+
+// ScrambledZipfian spreads the Zipfian popularity mass over the whole
+// item space by hashing, YCSB's default request distribution: the
+// hottest items are scattered rather than clustered at low indexes, so
+// they land on different servers — the skew pattern behind the paper's
+// load-balancing observations.
+type ScrambledZipfian struct {
+	z *Zipfian
+}
+
+// NewScrambledZipfian returns the YCSB default request distribution
+// over n items.
+func NewScrambledZipfian(n uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, ZipfianConstant)}
+}
+
+var _ Generator = (*ScrambledZipfian)(nil)
+
+// Next draws the next index.
+func (s *ScrambledZipfian) Next(rng *rand.Rand) uint64 {
+	return fnvHash64(s.z.Next(rng)) % s.z.items
+}
+
+// Items returns the item-space size.
+func (s *ScrambledZipfian) Items() uint64 { return s.z.items }
+
+// Latest favours recently inserted items: item n-1 is the hottest,
+// as in YCSB's SkewedLatestGenerator (workload D's distribution). The
+// item space can grow via Extend.
+type Latest struct {
+	n uint64
+	z *Zipfian
+}
+
+// NewLatest returns a latest-skewed generator over n items.
+func NewLatest(n uint64) *Latest {
+	return &Latest{n: n, z: NewZipfian(n, ZipfianConstant)}
+}
+
+var _ Generator = (*Latest)(nil)
+
+// Next draws an index, skewed toward the most recent items.
+func (l *Latest) Next(rng *rand.Rand) uint64 {
+	return l.n - 1 - l.z.Next(rng)
+}
+
+// Items returns the current item-space size.
+func (l *Latest) Items() uint64 { return l.n }
+
+// Extend grows the item space after inserts (rebuilding the
+// underlying Zipfian tables).
+func (l *Latest) Extend(newN uint64) {
+	if newN <= l.n {
+		return
+	}
+	l.n = newN
+	l.z = NewZipfian(newN, ZipfianConstant)
+}
+
+func fnvHash64(v uint64) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	h := fnv.New64a()
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
