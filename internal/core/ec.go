@@ -22,7 +22,10 @@ type ecStrategy struct {
 var _ strategy = (*ecStrategy)(nil)
 
 func newECStrategy(c *Client) (*ecStrategy, error) {
-	code, err := erasure.NewRSVan(c.cfg.K, c.cfg.M)
+	// The code draws reconstruction buffers from erasure.DefaultPool;
+	// the get/repair paths rely on that when they hand rebuilt chunks
+	// back to the pool.
+	code, err := erasure.NewRSVan(c.cfg.K, c.cfg.M, erasure.WithPool(erasure.DefaultPool))
 	if err != nil {
 		return nil, err
 	}
@@ -55,9 +58,13 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 
 	// Client-side encode: split, compute parity, distribute all K+M
 	// chunks with non-blocking writes (Equation 7: T_encode + max over
-	// chunks of (L + D/(B·K))).
+	// chunks of (L + D/(B·K))). Shard buffers come from the shared
+	// pool; the chunk payloads below copy them, so releasing when the
+	// writes have completed is safe.
 	start := time.Now()
-	shards := erasure.Split(value, e.k, e.m)
+	ps := erasure.SplitPooled(value, e.k, e.m, nil)
+	defer ps.Release()
+	shards := ps.Shards
 	if err := e.code.Encode(shards); err != nil {
 		return err
 	}
@@ -191,19 +198,25 @@ func (e *ecStrategy) get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: no stripe of %q has %d chunks available", ErrUnavailable, key, e.k)
 	}
 
-	needsDecode := false
+	// Degraded read: rebuild only the missing data chunks (parity is
+	// not needed once the value is joined).
+	var rebuilt []int
 	for i := 0; i < e.k; i++ {
 		if chunks[i] == nil {
-			needsDecode = true
-			break
+			rebuilt = append(rebuilt, i)
 		}
 	}
-	if needsDecode {
-		if err := e.code.Reconstruct(chunks); err != nil {
+	if len(rebuilt) > 0 {
+		if err := erasure.ReconstructData(e.code, chunks); err != nil {
 			return nil, err
 		}
 	}
 	value, err := erasure.Join(chunks, e.k, int(totalLen))
+	// Join copied the data out; the chunks the codec pool-allocated can
+	// go back. Network-owned chunk buffers are never released.
+	for _, i := range rebuilt {
+		erasure.DefaultPool.Put(chunks[i])
+	}
 	e.c.instrument("encode-decode", time.Since(gathered))
 	e.c.instrumentOp()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ecstore/internal/erasure"
 	"ecstore/internal/rpc"
 	"ecstore/internal/wire"
 )
@@ -168,6 +169,15 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 	if err := e.code.Reconstruct(chunks); err != nil {
 		return report, err
 	}
+	// The rebuilt chunks were drawn from the shared shard pool; the
+	// rewrite payloads below copy them, so hand them back once every
+	// write has completed. Surviving chunks are network-owned and are
+	// left to the garbage collector.
+	defer func() {
+		for _, i := range missing {
+			erasure.DefaultPool.Put(chunks[i])
+		}
+	}()
 	for _, i := range missing {
 		cm := wire.ECMeta{
 			ChunkIndex: uint8(i),

@@ -1,0 +1,260 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ecstore/internal/gf256"
+)
+
+// Parallel striped coding. Matrix-based encode/decode is a set of
+// independent GF(2^8) dot products out = Σ coeff·src; every byte column
+// is independent, so shard payloads can be cut into cache-friendly
+// segments and the segments computed concurrently. Small payloads stay
+// on the serial path — below the crossover the fan-out overhead costs
+// more than the coding (the paper's Figure 4 sizes only benefit from
+// striping in the ≥64 KB half of the 1 KB–1 MB range).
+
+const (
+	// DefaultParallelThreshold is the per-shard size (bytes) at or
+	// below which coding always runs serially. With RS(3,2) this keeps
+	// values of ≈12 KB and under — in particular the ≤4 KB small-value
+	// class — on the fast serial path.
+	DefaultParallelThreshold = 4 << 10
+
+	// parallelSegment is the stripe width in bytes handed to one worker
+	// task: large enough to amortize the handoff, small enough that a
+	// segment's working set (k source reads + 1 destination write) sits
+	// in cache and a 1 MB value still fans out across many cores.
+	parallelSegment = 32 << 10
+)
+
+// workerPool is a bounded pool of coding workers. Helpers are recruited
+// with a non-blocking send — when every worker is busy none join and the
+// submitting goroutine simply does all the work itself — so the pool can
+// never deadlock and concurrency stays bounded at workers+callers.
+type workerPool struct {
+	n     int
+	tasks chan func()
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	w := &workerPool{n: n, tasks: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			for fn := range w.tasks {
+				fn()
+			}
+		}()
+	}
+	return w
+}
+
+// sharedWorkers returns the process-wide GOMAXPROCS-sized pool, started
+// lazily on first parallel encode/decode.
+var (
+	sharedOnce    sync.Once
+	sharedPool    *workerPool
+	sharedWorkers = func() *workerPool {
+		sharedOnce.Do(func() {
+			sharedPool = newWorkerPool(runtime.GOMAXPROCS(0))
+		})
+		return sharedPool
+	}
+)
+
+// rangeRun is the shared state of one striped fan-out: the job batch
+// plus a work-stealing segment counter. Keeping everything in one
+// struct (submitted to workers as a single method value) caps the
+// fan-out cost at two allocations however large the payload.
+type rangeRun struct {
+	jobs      []codeJob
+	size, seg int
+	nseg      int
+	next      int64
+	wg        sync.WaitGroup
+}
+
+// claimLoop executes segments until the counter runs dry. Fast workers
+// naturally drain the tail for slow ones.
+func (r *rangeRun) claimLoop() {
+	for {
+		i := int(atomic.AddInt64(&r.next, 1)) - 1
+		if i >= r.nseg {
+			return
+		}
+		lo := i * r.seg
+		hi := lo + r.seg
+		if hi > r.size {
+			hi = r.size
+		}
+		runSegment(r.jobs, lo, hi)
+	}
+}
+
+// work is the helper entry point submitted to the pool.
+func (r *rangeRun) work() {
+	defer r.wg.Done()
+	r.claimLoop()
+}
+
+// runJobs executes the job batch with [0, size) split into seg-sized
+// segments claimed across the pool. Helpers are recruited non-blocking;
+// the caller always participates, so progress never depends on a free
+// worker.
+func (w *workerPool) runJobs(jobs []codeJob, size, seg int) {
+	r := &rangeRun{jobs: jobs, size: size, seg: seg, nseg: (size + seg - 1) / seg}
+	helpers := r.nseg - 1
+	if helpers > w.n {
+		helpers = w.n
+	}
+	work := r.work
+	for i := 0; i < helpers; i++ {
+		r.wg.Add(1)
+		select {
+		case w.tasks <- work:
+		default:
+			// Every worker is busy; the caller will cover it.
+			r.wg.Done()
+		}
+	}
+	r.claimLoop()
+	r.wg.Wait()
+}
+
+// codeJob is one output shard of a matrix product: out = Σ coeffs[i]·srcs[i].
+// len(coeffs) == len(srcs) >= 1; all slices share one length.
+type codeJob struct {
+	out    []byte
+	coeffs []byte
+	srcs   [][]byte
+}
+
+// runSegment computes every job restricted to the byte range [lo, hi).
+// The first source row overwrites (MulSlice), so out needs no
+// pre-zeroing — raw pool buffers are fine.
+func runSegment(jobs []codeJob, lo, hi int) {
+	for _, j := range jobs {
+		out := j.out[lo:hi]
+		gf256.MulSlice(j.coeffs[0], j.srcs[0][lo:hi], out)
+		for c := 1; c < len(j.coeffs); c++ {
+			gf256.MulAddSlice(j.coeffs[c], j.srcs[c][lo:hi], out)
+		}
+	}
+}
+
+// executor holds the parallelism knobs shared by codes that execute
+// their coding as codeJob batches.
+type executor struct {
+	parallel  bool
+	threshold int         // per-shard bytes; at or below → serial
+	workers   *workerPool // nil → sharedWorkers()
+}
+
+// run executes the jobs over shards of the given size, striping across
+// the worker pool when the size is past the crossover.
+func (e *executor) run(jobs []codeJob, size int) {
+	if len(jobs) == 0 {
+		return
+	}
+	if !e.parallel || size <= e.threshold || size <= parallelSegment {
+		runSegment(jobs, 0, size)
+		return
+	}
+	w := e.workers
+	if w == nil {
+		w = sharedWorkers()
+	}
+	if w.n < 2 {
+		// A single-worker pool (GOMAXPROCS=1 host) cannot overlap
+		// anything; skip the fan-out machinery.
+		runSegment(jobs, 0, size)
+		return
+	}
+	w.runJobs(jobs, size, parallelSegment)
+}
+
+// Option configures codec execution (parallelism and buffer pooling)
+// for codes that support it, currently RSVan.
+type Option func(*codecOpts)
+
+type codecOpts struct {
+	pool      *BufferPool
+	parallel  bool
+	threshold int
+	workers   int
+}
+
+func defaultCodecOpts() codecOpts {
+	return codecOpts{
+		pool:      DefaultPool,
+		parallel:  true,
+		threshold: DefaultParallelThreshold,
+	}
+}
+
+// WithPool sets the buffer pool used for parity and reconstruction
+// buffers. Passing nil disables pooling (plain allocation).
+func WithPool(p *BufferPool) Option {
+	return func(o *codecOpts) { o.pool = p }
+}
+
+// WithParallel enables or disables striped parallel coding. It is on by
+// default; WithParallel(false) forces the serial path regardless of
+// size.
+func WithParallel(on bool) Option {
+	return func(o *codecOpts) { o.parallel = on }
+}
+
+// WithParallelThreshold sets the per-shard byte size at or below which
+// coding stays serial. Values ≤ 0 reset to DefaultParallelThreshold.
+func WithParallelThreshold(n int) Option {
+	return func(o *codecOpts) {
+		if n <= 0 {
+			n = DefaultParallelThreshold
+		}
+		o.threshold = n
+	}
+}
+
+// WithWorkers bounds this code's coding concurrency: n > 1 gives the
+// code a private pool of n workers; n == 1 is equivalent to
+// WithParallel(false); n == 0 (the default) shares the process-wide
+// GOMAXPROCS-sized pool.
+func WithWorkers(n int) Option {
+	return func(o *codecOpts) { o.workers = n }
+}
+
+// newExecutor materializes the executor (and its private worker pool,
+// if requested) from resolved options.
+func (o codecOpts) newExecutor() executor {
+	ex := executor{parallel: o.parallel, threshold: o.threshold}
+	switch {
+	case o.workers == 1:
+		ex.parallel = false
+	case o.workers > 1:
+		ex.workers = newWorkerPool(o.workers)
+	}
+	return ex
+}
+
+// alloc draws a possibly-dirty buffer from the configured pool, or
+// allocates when pooling is disabled. Callers overwrite every byte.
+func (o codecOpts) alloc(n int) []byte {
+	if o.pool == nil {
+		return make([]byte, n)
+	}
+	return o.pool.getRaw(n)
+}
+
+// release hands a buffer back to the configured pool (no-op when
+// pooling is disabled).
+func (o codecOpts) release(b []byte) {
+	if o.pool != nil {
+		o.pool.Put(b)
+	}
+}

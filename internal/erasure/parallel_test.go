@@ -1,0 +1,220 @@
+package erasure
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// serialParallelPair returns the same RS(k, m) code twice: once forced
+// serial/unpooled, once forced parallel (threshold 1, private workers so
+// striping happens even on a single-core host).
+func serialParallelPair(t *testing.T, k, m int) (serial, parallel *RSVan) {
+	t.Helper()
+	var err error
+	serial, err = NewRSVan(k, m, WithParallel(false), WithPool(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err = NewRSVan(k, m, WithParallelThreshold(1), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+// Figure 4's size range, plus odd lengths that exercise the kernels'
+// scalar tails and the shard padding.
+var roundTripSizes = []int{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20,
+	1023, 4097, 31<<10 + 5, 33<<10 + 1, 1<<20 - 7,
+}
+
+func TestSerialParallelEncodeBitIdentical(t *testing.T) {
+	for _, km := range [][2]int{{3, 2}, {4, 2}, {6, 3}} {
+		serial, parallel := serialParallelPair(t, km[0], km[1])
+		rng := rand.New(rand.NewSource(11))
+		for _, size := range roundTripSizes {
+			t.Run(fmt.Sprintf("rs_%d_%d/size=%d", km[0], km[1], size), func(t *testing.T) {
+				value := randValue(rng, size)
+				ss := Split(value, km[0], km[1])
+				if err := serial.Encode(ss); err != nil {
+					t.Fatal(err)
+				}
+				pp := Split(value, km[0], km[1])
+				if err := parallel.Encode(pp); err != nil {
+					t.Fatal(err)
+				}
+				for i := range ss {
+					if !bytes.Equal(ss[i], pp[i]) {
+						t.Fatalf("shard %d differs between serial and parallel encode", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSerialParallelDecodeBitIdentical(t *testing.T) {
+	const k, m = 3, 2
+	serial, parallel := serialParallelPair(t, k, m)
+	rng := rand.New(rand.NewSource(13))
+	for _, size := range roundTripSizes {
+		value := randValue(rng, size)
+		shards := Split(value, k, m)
+		if err := serial.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		// Erase the worst case (m shards, data first) and decode with
+		// both paths.
+		for _, erased := range [][]int{{0, 1}, {0, 3}, {2, 4}, {3, 4}} {
+			mk := func() [][]byte {
+				work := make([][]byte, len(shards))
+				copy(work, shards)
+				for _, e := range erased {
+					work[e] = nil
+				}
+				return work
+			}
+			sw, pw := mk(), mk()
+			if err := serial.Reconstruct(sw); err != nil {
+				t.Fatalf("size=%d erased=%v: %v", size, erased, err)
+			}
+			if err := parallel.Reconstruct(pw); err != nil {
+				t.Fatalf("size=%d erased=%v: %v", size, erased, err)
+			}
+			for i := range sw {
+				if !bytes.Equal(sw[i], pw[i]) {
+					t.Fatalf("size=%d erased=%v: shard %d differs between serial and parallel decode", size, erased, i)
+				}
+				if !bytes.Equal(sw[i], shards[i]) {
+					t.Fatalf("size=%d erased=%v: shard %d not recovered", size, erased, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRoundTripFullRange(t *testing.T) {
+	// Encode with the parallel path, decode with the serial path (and
+	// vice versa) — the wire format must be one and the same.
+	const k, m = 3, 2
+	serial, parallel := serialParallelPair(t, k, m)
+	rng := rand.New(rand.NewSource(17))
+	for _, size := range roundTripSizes {
+		value := randValue(rng, size)
+		shards := Split(value, k, m)
+		if err := parallel.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		work := make([][]byte, len(shards))
+		copy(work, shards)
+		work[0], work[2] = nil, nil
+		if err := serial.Reconstruct(work); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Join(work, k, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("size=%d: parallel-encode/serial-decode round trip differs", size)
+		}
+	}
+}
+
+func TestWithWorkersOneIsSerial(t *testing.T) {
+	code, err := NewRSVan(3, 2, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.exec.parallel {
+		t.Fatal("WithWorkers(1) should disable parallel execution")
+	}
+	value := randValue(rand.New(rand.NewSource(3)), 256<<10)
+	shards := Split(value, 3, 2)
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := code.Verify(shards); err != nil || !ok {
+		t.Fatalf("Verify: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestParallelThresholdKeepsSmallValuesSerial(t *testing.T) {
+	code, err := NewRSVan(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.exec.threshold != DefaultParallelThreshold {
+		t.Fatalf("default threshold = %d, want %d", code.exec.threshold, DefaultParallelThreshold)
+	}
+	// Both sides of the crossover must produce verifiable stripes.
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{1 << 10, 4 << 10, 256 << 10} {
+		value := randValue(rng, size)
+		shards := Split(value, 3, 2)
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := code.Verify(shards); err != nil || !ok {
+			t.Fatalf("size=%d: ok=%v err=%v", size, ok, err)
+		}
+	}
+}
+
+func TestReconstructDataLeavesParityNil(t *testing.T) {
+	code, err := NewRSVan(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := randValue(rand.New(rand.NewSource(9)), 100<<10)
+	shards := Split(value, 3, 2)
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	work[1] = nil // lost data chunk
+	work[4] = nil // lost parity chunk
+	if err := code.ReconstructData(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[1], shards[1]) {
+		t.Fatal("data shard not recovered")
+	}
+	if work[4] != nil {
+		t.Fatal("ReconstructData recomputed parity; it should not")
+	}
+	got, err := Join(work, 3, len(value))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("round trip differs after ReconstructData")
+	}
+}
+
+func TestReconstructDataHelperFallsBack(t *testing.T) {
+	// Codes without a native data-only path must still recover data
+	// through the package helper.
+	code, err := NewCauchyRS(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := randValue(rand.New(rand.NewSource(21)), 64<<10)
+	shards := Split(value, 3, 2)
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	work[0] = nil
+	if err := ReconstructData(code, work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[0], shards[0]) {
+		t.Fatal("data shard not recovered via helper")
+	}
+}

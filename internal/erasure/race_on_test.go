@@ -1,0 +1,8 @@
+//go:build race
+
+package erasure
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops Puts at random under the race detector, so tests
+// asserting deterministic buffer recycling must relax under -race.
+const raceEnabled = true

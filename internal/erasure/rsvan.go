@@ -1,28 +1,34 @@
 package erasure
 
-import (
-	"fmt"
-
-	"ecstore/internal/gf256"
-)
+import "fmt"
 
 // RSVan is classic Reed-Solomon coding with a systematic generator
 // matrix derived from a Vandermonde matrix (Jerasure's reed_sol_van, the
 // scheme the paper selects as RS(K,M)). Encoding and decoding are dense
 // GF(2^8) matrix-vector products executed with split-table slice
 // kernels.
+//
+// Large shards are striped into cache-friendly segments and coded
+// concurrently on a bounded worker pool, and parity/reconstruction
+// buffers come from a shard BufferPool — both on by default and
+// tunable through Options (WithParallel, WithWorkers,
+// WithParallelThreshold, WithPool).
 type RSVan struct {
 	k, m int
 	// gen is the (k+m)×k systematic generator matrix: the top k rows
 	// are the identity, the bottom m rows produce parity.
-	gen *Matrix
+	gen  *Matrix
+	opts codecOpts
+	exec executor
 }
 
 var _ Code = (*RSVan)(nil)
 
 // NewRSVan constructs an RS(k, m) Vandermonde code. k and m must be
-// positive with k+m <= 256.
-func NewRSVan(k, m int) (*RSVan, error) {
+// positive with k+m <= 256. With no options the code stripes large
+// shards across the shared GOMAXPROCS worker pool and draws scratch
+// buffers from DefaultPool.
+func NewRSVan(k, m int, opts ...Option) (*RSVan, error) {
 	if err := checkKM(k, m); err != nil {
 		return nil, err
 	}
@@ -33,7 +39,11 @@ func NewRSVan(k, m int) (*RSVan, error) {
 		// Vandermonde square submatrices are always invertible.
 		return nil, fmt.Errorf("rs-van generator: %w", err)
 	}
-	return &RSVan{k: k, m: m, gen: v.Mul(topInv)}, nil
+	o := defaultCodecOpts()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &RSVan{k: k, m: m, gen: v.Mul(topInv), opts: o, exec: o.newExecutor()}, nil
 }
 
 func checkKM(k, m int) error {
@@ -73,25 +83,38 @@ func (r *RSVan) Encode(shards [][]byte) error {
 	if err != nil {
 		return err
 	}
-	for i := r.k; i < r.k+r.m; i++ {
-		if shards[i] == nil {
-			shards[i] = make([]byte, size)
-		} else {
-			clearSlice(shards[i])
-		}
-	}
+	jobs := make([]codeJob, 0, r.m)
 	for row := 0; row < r.m; row++ {
-		out := shards[r.k+row]
-		coeffs := r.gen.Row(r.k + row)
-		for c := 0; c < r.k; c++ {
-			gf256.MulAddSlice(coeffs[c], shards[c], out)
+		idx := r.k + row
+		if shards[idx] == nil {
+			// The first generator column overwrites the output, so a
+			// dirty pool buffer is fine here.
+			shards[idx] = r.opts.alloc(size)
 		}
+		jobs = append(jobs, codeJob{
+			out:    shards[idx],
+			coeffs: r.gen.Row(idx)[:r.k],
+			srcs:   shards[:r.k],
+		})
 	}
+	r.exec.run(jobs, size)
 	return nil
 }
 
-// Reconstruct recovers every nil shard from any k present shards.
+// Reconstruct recovers every nil shard (data and parity) from any k
+// present shards.
 func (r *RSVan) Reconstruct(shards [][]byte) error {
+	return r.reconstruct(shards, true)
+}
+
+// ReconstructData recovers only the missing data shards, leaving nil
+// parity shards nil. Degraded reads need just the data, so skipping the
+// parity recompute removes up to m dot products from the hot path.
+func (r *RSVan) ReconstructData(shards [][]byte) error {
+	return r.reconstruct(shards, false)
+}
+
+func (r *RSVan) reconstruct(shards [][]byte, withParity bool) error {
 	size, present, err := checkShards(shards, r.k, r.m, false)
 	if err != nil {
 		return err
@@ -111,20 +134,25 @@ func (r *RSVan) Reconstruct(shards [][]byte) error {
 			return err
 		}
 	}
+	if !withParity {
+		return nil
+	}
 	// Recompute any missing parity directly from the (now complete)
 	// data shards.
+	jobs := make([]codeJob, 0, r.m)
 	for row := 0; row < r.m; row++ {
 		idx := r.k + row
 		if shards[idx] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		coeffs := r.gen.Row(idx)
-		for c := 0; c < r.k; c++ {
-			gf256.MulAddSlice(coeffs[c], shards[c], out)
-		}
-		shards[idx] = out
+		shards[idx] = r.opts.alloc(size)
+		jobs = append(jobs, codeJob{
+			out:    shards[idx],
+			coeffs: r.gen.Row(idx)[:r.k],
+			srcs:   shards[:r.k],
+		})
 	}
+	r.exec.run(jobs, size)
 	return nil
 }
 
@@ -132,26 +160,30 @@ func (r *RSVan) reconstructData(shards [][]byte, size int) error {
 	// Pick the first k present shards and build the square decode
 	// matrix from their generator rows.
 	rows := make([]int, 0, r.k)
+	srcs := make([][]byte, 0, r.k)
 	for i := 0; i < len(shards) && len(rows) < r.k; i++ {
 		if shards[i] != nil {
 			rows = append(rows, i)
+			srcs = append(srcs, shards[i])
 		}
 	}
 	dec, err := r.gen.SubMatrix(rows).Invert()
 	if err != nil {
 		return fmt.Errorf("rs-van decode: %w", err)
 	}
+	jobs := make([]codeJob, 0, r.k)
 	for d := 0; d < r.k; d++ {
 		if shards[d] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		coeffs := dec.Row(d)
-		for j, src := range rows {
-			gf256.MulAddSlice(coeffs[j], shards[src], out)
-		}
-		shards[d] = out
+		shards[d] = r.opts.alloc(size)
+		jobs = append(jobs, codeJob{
+			out:    shards[d],
+			coeffs: dec.Row(d)[:r.k],
+			srcs:   srcs,
+		})
 	}
+	r.exec.run(jobs, size)
 	return nil
 }
 
@@ -161,16 +193,20 @@ func (r *RSVan) Verify(shards [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	buf := make([]byte, size)
 	for row := 0; row < r.m; row++ {
 		if shards[r.k+row] == nil {
 			return false, nil
 		}
-		clearSlice(buf)
-		coeffs := r.gen.Row(r.k + row)
-		for c := 0; c < r.k; c++ {
-			gf256.MulAddSlice(coeffs[c], shards[c], buf)
-		}
+	}
+	buf := r.opts.alloc(size)
+	defer r.opts.release(buf)
+	for row := 0; row < r.m; row++ {
+		jobs := []codeJob{{
+			out:    buf,
+			coeffs: r.gen.Row(r.k + row)[:r.k],
+			srcs:   shards[:r.k],
+		}}
+		r.exec.run(jobs, size)
 		if !equalBytes(buf, shards[r.k+row]) {
 			return false, nil
 		}
@@ -194,4 +230,15 @@ func equalBytes(a, b []byte) bool {
 		}
 	}
 	return true
+}
+
+// ReconstructData recovers only the missing data shards of c, using the
+// code's native data-only path when it has one (RSVan) and falling back
+// to a full Reconstruct otherwise. Degraded reads want this: the caller
+// is about to Join the data shards and discard parity.
+func ReconstructData(c Code, shards [][]byte) error {
+	if rd, ok := c.(interface{ ReconstructData([][]byte) error }); ok {
+		return rd.ReconstructData(shards)
+	}
+	return c.Reconstruct(shards)
 }

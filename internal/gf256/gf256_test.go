@@ -236,6 +236,89 @@ func TestSliceLengthMismatchPanics(t *testing.T) {
 	}
 }
 
+// refMulAdd is the byte-at-a-time reference the widened uint64 kernels
+// are checked against.
+func refMulAdd(c byte, in, out []byte) {
+	for i, v := range in {
+		out[i] ^= Mul(c, v)
+	}
+}
+
+func TestMulAddSliceWideAllLengths(t *testing.T) {
+	// Lengths straddling the 8-byte kernel boundary: pure tail, exact
+	// multiples, and multiples plus a partial tail.
+	for length := 0; length <= 40; length++ {
+		in := make([]byte, length)
+		for i := range in {
+			in[i] = byte(i*37 + 11)
+		}
+		for _, c := range []byte{0, 1, 2, 0x53, 0x8E, 0xFF} {
+			got := make([]byte, length)
+			want := make([]byte, length)
+			for i := range got {
+				got[i] = byte(i * 13)
+				want[i] = got[i]
+			}
+			MulAddSlice(c, in, got)
+			refMulAdd(c, in, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlice len=%d c=%#x: got %v want %v", length, c, got, want)
+			}
+		}
+	}
+}
+
+func TestAddSliceWideAllLengths(t *testing.T) {
+	for length := 0; length <= 40; length++ {
+		in := make([]byte, length)
+		got := make([]byte, length)
+		want := make([]byte, length)
+		for i := range in {
+			in[i] = byte(i*41 + 3)
+			got[i] = byte(i * 17)
+			want[i] = got[i] ^ in[i]
+		}
+		AddSlice(in, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AddSlice len=%d: got %v want %v", length, got, want)
+		}
+	}
+}
+
+func TestMulAddSliceUnalignedViews(t *testing.T) {
+	// Slices cut at odd offsets from a shared backing array: the uint64
+	// loads must not depend on 8-byte alignment of the slice base.
+	backing := make([]byte, 64)
+	for i := range backing {
+		backing[i] = byte(i * 7)
+	}
+	for off := 0; off < 8; off++ {
+		in := backing[off : off+23]
+		got := make([]byte, 23)
+		want := make([]byte, 23)
+		MulAddSlice(0xA7, in, got)
+		refMulAdd(0xA7, in, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("offset %d: got %v want %v", off, got, want)
+		}
+	}
+}
+
+func TestMulAddSliceSelfAlias(t *testing.T) {
+	// out == in is the documented aliasing case: out[i] ^= c*out[i],
+	// i.e. multiply in place by (c ^ 1).
+	buf := make([]byte, 29)
+	want := make([]byte, 29)
+	for i := range buf {
+		buf[i] = byte(i*19 + 5)
+		want[i] = Mul(0x53^1, buf[i])
+	}
+	MulAddSlice(0x53, buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("self-aliased MulAddSlice: got %v want %v", buf, want)
+	}
+}
+
 func BenchmarkMulAddSlice(b *testing.B) {
 	in := make([]byte, 64*1024)
 	out := make([]byte, 64*1024)

@@ -60,7 +60,11 @@ func (s *Server) handleEncodeSet(req *wire.Request) *wire.Response {
 	if err != nil {
 		return errorResponse(err)
 	}
-	shards := erasure.Split(req.Value, k, m)
+	// Pooled split: chunk payloads are copies, so the shard buffers go
+	// back to the pool when the handler returns.
+	ps := erasure.SplitPooled(req.Value, k, m, nil)
+	defer ps.Release()
+	shards := ps.Shards
 	if err := code.Encode(shards); err != nil {
 		return errorResponse(err)
 	}
@@ -180,23 +184,29 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 		return &wire.Response{Status: wire.StatusNotFound}
 	}
 
-	needsDecode := false
+	// Degraded read: rebuild only the missing data chunks — the caller
+	// gets the joined value, so recomputing parity would be wasted work.
+	var rebuilt []int
 	for i := 0; i < k; i++ {
 		if chunks[i] == nil {
-			needsDecode = true
-			break
+			rebuilt = append(rebuilt, i)
 		}
 	}
-	if needsDecode {
+	if len(rebuilt) > 0 {
 		code, err := s.code(k, m)
 		if err != nil {
 			return errorResponse(err)
 		}
-		if err := code.Reconstruct(chunks); err != nil {
+		if err := erasure.ReconstructData(code, chunks); err != nil {
 			return errorResponse(err)
 		}
 	}
 	value, err := erasure.Join(chunks, k, int(totalLen))
+	// Join copied the data; pool-allocated rebuilt chunks can be
+	// recycled. Peer-owned chunk buffers are never released.
+	for _, i := range rebuilt {
+		erasure.DefaultPool.Put(chunks[i])
+	}
 	if err != nil {
 		return errorResponse(err)
 	}
