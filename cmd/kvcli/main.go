@@ -70,6 +70,9 @@ func run() error {
 	k := flag.Int("k", 3, "erasure data chunks K")
 	m := flag.Int("m", 2, "erasure parity chunks M")
 	replicas := flag.Int("replicas", 3, "replication factor F")
+	opTimeout := flag.Duration("op-timeout", 0, "per-RPC deadline (0 = default 15s, negative disables)")
+	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -82,13 +85,16 @@ func run() error {
 		return err
 	}
 	client, err := core.New(core.Config{
-		Network:    transport.TCP{},
-		Servers:    strings.Split(*servers, ","),
-		Resilience: resilience,
-		Scheme:     scheme,
-		K:          *k,
-		M:          *m,
-		Replicas:   *replicas,
+		Network:      transport.TCP{},
+		Servers:      strings.Split(*servers, ","),
+		Resilience:   resilience,
+		Scheme:       scheme,
+		K:            *k,
+		M:            *m,
+		Replicas:     *replicas,
+		OpTimeout:    *opTimeout,
+		MaxRetries:   *retries,
+		RetryBackoff: *retryBackoff,
 	})
 	if err != nil {
 		return err

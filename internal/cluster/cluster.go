@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"ecstore/internal/server"
 	"ecstore/internal/store"
@@ -28,6 +29,10 @@ type Config struct {
 	DisableEviction bool
 	// Workers is the per-server worker pool size.
 	Workers int
+	// PeerTimeout bounds each server-to-peer RPC during server-side
+	// encode/decode (server.DefaultPeerTimeout if zero; negative
+	// disables deadlines).
+	PeerTimeout time.Duration
 	// Logf receives server diagnostics (discarded if nil).
 	Logf func(format string, args ...any)
 }
@@ -88,8 +93,9 @@ func (c *Cluster) start(i int) error {
 			MaxBytes:        c.cfg.StoreBytesPerServer,
 			DisableEviction: c.cfg.DisableEviction,
 		},
-		Workers: c.cfg.Workers,
-		Logf:    logf,
+		Workers:     c.cfg.Workers,
+		PeerTimeout: c.cfg.PeerTimeout,
+		Logf:        logf,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: start server %d: %w", i, err)

@@ -59,8 +59,12 @@ func New(cfg Config) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		cfg:    cfg,
-		pool:   rpc.NewPool(cfg.Network),
+		cfg: cfg,
+		// The pool is the failure detector: per-call deadlines bound
+		// every round trip, and the per-server health tracker turns
+		// repeated failures into a fast-failing suspect state — see
+		// Config.OpTimeout and Config.MaxRetries.
+		pool:   rpc.NewPool(cfg.Network, rpc.WithCallTimeout(cfg.OpTimeout)),
 		ring:   hashring.New(0),
 		window: make(chan struct{}, cfg.Window),
 	}

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ecstore/internal/stats"
 	"ecstore/internal/transport"
@@ -113,6 +114,16 @@ const (
 	// DefaultHybridThreshold is the value size at which the hybrid
 	// policy switches from replication to erasure coding.
 	DefaultHybridThreshold = 16 << 10
+	// DefaultOpTimeout bounds each RPC round trip. It is generous —
+	// failure detection for a hung server, not a latency target — so
+	// in-process and LAN deployments never trip it under load.
+	DefaultOpTimeout = 15 * time.Second
+	// DefaultMaxRetries is how many times an idempotent read is
+	// retried after a transient failure (timeout or server down).
+	DefaultMaxRetries = 2
+	// DefaultRetryBackoff is the initial delay before the first retry;
+	// it doubles per attempt with jitter.
+	DefaultRetryBackoff = 10 * time.Millisecond
 )
 
 // Config configures a Client.
@@ -138,6 +149,20 @@ type Config struct {
 	// HybridThreshold is the hybrid policy's size cutover
 	// (DefaultHybridThreshold if zero).
 	HybridThreshold int
+	// OpTimeout bounds each RPC round trip: a call that has not been
+	// answered within the deadline completes with rpc.ErrTimeout, so a
+	// hung server never blocks Get/Set/Delete indefinitely
+	// (DefaultOpTimeout if zero; negative disables deadlines).
+	OpTimeout time.Duration
+	// MaxRetries caps retries of idempotent reads on transient
+	// failures — Get/GetChunk after a timeout or a down server. Writes
+	// are never silently retried once any chunk or replica write has
+	// been issued (DefaultMaxRetries if zero; negative disables
+	// retries).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling with
+	// jitter per attempt (DefaultRetryBackoff if zero).
+	RetryBackoff time.Duration
 	// Instrument, when non-nil, receives the per-op phase breakdown
 	// (encode / request / wait-response) used by Figure 9.
 	Instrument *stats.Breakdown
@@ -171,6 +196,21 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.HybridThreshold <= 0 {
 		cfg.HybridThreshold = DefaultHybridThreshold
+	}
+	switch {
+	case cfg.OpTimeout == 0:
+		cfg.OpTimeout = DefaultOpTimeout
+	case cfg.OpTimeout < 0:
+		cfg.OpTimeout = 0 // deadlines disabled
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = DefaultMaxRetries
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0 // retries disabled
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
 	}
 	if cfg.K+cfg.M > 256 {
 		return cfg, fmt.Errorf("core: K+M too large (%d)", cfg.K+cfg.M)

@@ -78,6 +78,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 		Stripe:   wire.NewStripeID(),
 	}
 	calls := make([]*rpc.Call, 0, n)
+	var firstErr error
 	for i, addr := range placement {
 		cm := meta
 		cm.ChunkIndex = uint8(i)
@@ -89,24 +90,64 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 			Meta:       cm,
 		})
 		if err != nil {
-			return fmt.Errorf("chunk %d to %s: %w", i, addr, err)
+			firstErr = fmt.Errorf("chunk %d to %s: %w", i, addr, err)
+			break
 		}
 		calls = append(calls, call)
 	}
 	issued := time.Now()
 	e.c.instrument("request", issued.Sub(encoded))
+	// Wait out every issued call even after a failure: returning early
+	// would let the remaining in-flight chunk writes keep landing after
+	// the error is reported, leaving a torn stripe of this write that
+	// can shadow the previous complete one.
 	for i, call := range calls {
 		resp, err := call.Wait()
 		if err == nil {
 			err = resp.Err()
 		}
-		if err != nil {
-			return fmt.Errorf("chunk %d write: %w", i, err)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chunk %d write: %w", i, err)
 		}
 	}
 	e.c.instrument("wait-response", time.Since(issued))
 	e.c.instrumentOp()
+	if firstErr != nil {
+		// calls[i] carries chunk i (the issue loop stops at the first
+		// Send failure), so exactly chunks [0, len(calls)) may have
+		// landed with this stripe ID.
+		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		return firstErr
+	}
 	return nil
+}
+
+// unwindStripe best-effort deletes the chunks a failed Set may have
+// written, using stripe-conditional deletes so a concurrent newer
+// overwrite is never deleted by mistake. Errors are ignored: a chunk
+// holder that is down keeps its stale chunk, but with fewer than K
+// chunks the dead stripe can never be decoded or shadow an older one.
+func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64, issued int) {
+	// Cleanup runs after the failed write already spent up to one full
+	// deadline waiting; half a deadline here keeps the whole Set within
+	// the documented 2x OpTimeout bound even when the same hung holder
+	// eats both phases.
+	timeout := e.c.cfg.OpTimeout / 2
+	calls := make([]*rpc.Call, 0, issued)
+	for i := 0; i < issued; i++ {
+		call, err := e.c.pool.SendTimeout(placement[i], &wire.Request{
+			Op:   wire.OpDelete,
+			Key:  wire.ChunkKey(key, i),
+			Meta: wire.ECMeta{Stripe: stripe},
+		}, timeout)
+		if err != nil {
+			continue
+		}
+		calls = append(calls, call)
+	}
+	for _, call := range calls {
+		_, _ = call.Wait()
+	}
 }
 
 // serverEncodeSet sends the whole value to the primary, which encodes
@@ -120,7 +161,10 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 		e.c.instrumentOp()
 	}()
 	var lastErr error
-	for _, addr := range distinct(placement) {
+	// Healthy coordinators first: a suspect primary is tried last (its
+	// probe window still lets recovery be noticed) instead of eating a
+	// dial or deadline on every write.
+	for _, addr := range e.c.orderByHealth(distinct(placement)) {
 		_, err := e.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpEncodeSet, Key: key, Value: value,
 			TTLSeconds: uint32(ttl / time.Second), Meta: meta,
@@ -129,6 +173,11 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 			return nil
 		}
 		lastErr = err
+		// Fail over only when the coordinator was unreachable (down or
+		// suspect). A timeout is NOT failed over: the write may be
+		// mid-flight on the first coordinator, and re-running it
+		// elsewhere would be a silent retry past the stripe-write
+		// stage.
 		if !errors.Is(err, rpc.ErrServerDown) {
 			return err
 		}
@@ -142,16 +191,32 @@ func (e *ecStrategy) get(key string) ([]byte, error) {
 	if placement == nil {
 		return nil, ErrUnavailable
 	}
-	if !e.clientDecodes() {
-		return e.serverDecodeGet(key, placement)
-	}
+	// Reads are idempotent, so transient failures (timeouts, down
+	// servers) are retried with backoff; authoritative answers are not.
+	var value []byte
+	err := e.c.withRetry(func() error {
+		var err error
+		if e.clientDecodes() {
+			value, err = e.clientDecodeGet(key, placement)
+		} else {
+			value, err = e.serverDecodeGet(key, placement)
+		}
+		return err
+	})
+	return value, err
+}
 
-	// Client-side decode: aggregate chunks (data first, parity on
-	// failure) grouped by stripe so concurrent writes never produce a
-	// torn value, then reconstruct if needed (Equation 8).
+// clientDecodeGet aggregates chunks (data first, parity on failure)
+// grouped by stripe so concurrent writes never produce a torn value,
+// then reconstructs if needed (Equation 8).
+func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, error) {
+	n := e.k + e.m
 	start := time.Now()
 	collector := wire.NewChunkCollector(e.k, n)
-	notFound := 0
+	// reachable counts locations that answered at all (chunk, not-found
+	// or another status); notFound counts authoritative misses among
+	// them. Timed-out and unreachable locations are in neither.
+	reachable, notFound := 0, 0
 
 	fetch := func(lo, hi int) {
 		calls := make(map[int]*rpc.Call, hi-lo)
@@ -167,8 +232,9 @@ func (e *ecStrategy) get(key string) ([]byte, error) {
 		for _, call := range calls {
 			resp, err := call.Wait()
 			if err != nil {
-				continue
+				continue // hung or dead mid-call; parity covers it
 			}
+			reachable++
 			if respErr := resp.Err(); respErr != nil {
 				if errors.Is(respErr, wire.ErrNotFound) {
 					notFound++
@@ -192,7 +258,13 @@ func (e *ecStrategy) get(key string) ([]byte, error) {
 	_, totalLen, chunks, ok := collector.Best()
 	if !ok {
 		e.c.instrumentOp()
-		if notFound > 0 && collector.Seen() == 0 {
+		// Not-found only on conclusive evidence: every reachable chunk
+		// location answered an authoritative miss, and the unreachable
+		// ones could not hold K chunks between them — so the key
+		// cannot exist in decodable form. Anything weaker (a hung
+		// majority, partial stripes, corrupt chunks) is unavailability,
+		// not absence.
+		if reachable > 0 && notFound == reachable && n-reachable < e.k {
 			return nil, ErrNotFound
 		}
 		return nil, fmt.Errorf("%w: no stripe of %q has %d chunks available", ErrUnavailable, key, e.k)
@@ -235,7 +307,10 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, er
 		e.c.instrumentOp()
 	}()
 	var lastErr error
-	for _, addr := range distinct(placement) {
+	// Unlike serverEncodeSet, a decode coordinator that times out IS
+	// failed over: the read is idempotent, so asking another server is
+	// always safe.
+	for _, addr := range e.c.orderByHealth(distinct(placement)) {
 		resp, err := e.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpDecodeGet, Key: key, Meta: meta,
 		})
@@ -244,7 +319,7 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, er
 			return resp.Value, nil
 		case errors.Is(err, wire.ErrNotFound):
 			return nil, ErrNotFound
-		case errors.Is(err, rpc.ErrServerDown):
+		case rpc.IsUnavailable(err):
 			lastErr = err
 			continue
 		default:
@@ -261,22 +336,30 @@ func (e *ecStrategy) del(key string) error {
 		return ErrUnavailable
 	}
 	calls := make([]*rpc.Call, 0, n)
+	// deleted / notFound count authoritative answers; failed counts
+	// unreachable or timed-out chunk holders (including Send failures).
+	deleted, notFound, failed := 0, 0, 0
+	var failErr error
 	for i, addr := range placement {
 		call, err := e.c.pool.Send(addr, &wire.Request{
 			Op: wire.OpDelete, Key: wire.ChunkKey(key, i),
 		})
 		if err != nil {
+			failed++
+			if failErr == nil {
+				failErr = err
+			}
 			continue
 		}
 		calls = append(calls, call)
 	}
-	if len(calls) == 0 {
-		return ErrUnavailable
-	}
-	deleted := 0
 	for _, call := range calls {
 		resp, err := call.Wait()
 		if err != nil {
+			failed++
+			if failErr == nil {
+				failErr = err
+			}
 			continue
 		}
 		respErr := resp.Err()
@@ -284,17 +367,31 @@ func (e *ecStrategy) del(key string) error {
 		case respErr == nil:
 			deleted++
 		case errors.Is(respErr, wire.ErrNotFound):
-			// absent chunk: fine
+			notFound++
 		default:
 			return respErr
 		}
 	}
-	if deleted == 0 {
-		// Every reachable location answered authoritatively: the key
-		// does not exist (memcached delete semantics).
+	switch {
+	case deleted == 0 && failed >= e.k:
+		// Nothing confirmed deleted and enough holders unreached to
+		// hold a decodable stripe between them: the key may still
+		// exist.
+		return fmt.Errorf("%w: delete %q: %v", ErrUnavailable, key, failErr)
+	case deleted == 0:
+		// Every reachable location answered authoritatively not-found,
+		// and the unreached ones (fewer than K) cannot hold a decodable
+		// stripe between them: the key does not exist (memcached delete
+		// semantics). Mirrors the get-side classification.
 		return ErrNotFound
+	case failed >= e.k:
+		// Some chunks were deleted but K or more holders never answered;
+		// enough chunks may survive to still decode the old value, so
+		// the delete cannot be reported as durable.
+		return fmt.Errorf("%w: delete %q left %d chunk holders unreached", ErrUnavailable, key, failed)
+	default:
+		return nil
 	}
-	return nil
 }
 
 // hybridStrategy is the paper's future-work policy: replicate small
@@ -329,10 +426,20 @@ func (h *hybridStrategy) get(key string) ([]byte, error) {
 }
 
 func (h *hybridStrategy) del(key string) error {
+	// The write-side form is unknown, so delete both. A real failure on
+	// either side must surface even when the other side succeeded:
+	// swallowing it would leave the value resurrectable through the
+	// failed form. Only authoritative not-found is ignorable.
 	repErr := h.rep.del(key)
 	ecErr := h.ec.del(key)
-	if repErr != nil && ecErr != nil {
+	if repErr != nil && !errors.Is(repErr, ErrNotFound) {
 		return repErr
+	}
+	if ecErr != nil && !errors.Is(ecErr, ErrNotFound) {
+		return ecErr
+	}
+	if errors.Is(repErr, ErrNotFound) && errors.Is(ecErr, ErrNotFound) {
+		return ErrNotFound
 	}
 	return nil
 }

@@ -1,0 +1,388 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/transport"
+)
+
+// startNetemCluster launches an n-server cluster on a fault-injecting
+// network and returns both.
+func startNetemCluster(t *testing.T, n int) (*cluster.Cluster, *transport.Netem) {
+	t.Helper()
+	netem := transport.NewNetem(transport.NewInproc(transport.Shape{}))
+	cl, err := cluster.Start(cluster.Config{N: n, Network: netem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl, netem
+}
+
+// TestHungServerOpsBounded is the headline failure-detection guarantee:
+// with one server hung (accepts connections, never responds), every
+// Set/Get/Delete completes within 2x OpTimeout, and Get still returns
+// the correct value through a degraded read.
+func TestHungServerOpsBounded(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	const opTimeout = 200 * time.Millisecond
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		OpTimeout:  opTimeout,
+		MaxRetries: -1, // retries disabled: the bound must hold per attempt
+	})
+	value := bytes.Repeat([]byte("x"), 10_000)
+	if err := c.Set("bounded", value); err != nil {
+		t.Fatal(err)
+	}
+
+	hung := cl.Addrs()[0]
+	netem.Hang(hung)
+	defer netem.Restore(hung)
+
+	bounded := func(name string, op func() error) error {
+		t.Helper()
+		start := time.Now()
+		err := op()
+		if elapsed := time.Since(start); elapsed > 2*opTimeout {
+			t.Fatalf("%s took %v with a hung server; budget is %v", name, elapsed, 2*opTimeout)
+		}
+		return err
+	}
+
+	// Degraded read: the hung chunk holder times out, parity covers it.
+	err := bounded("Get", func() error {
+		got, err := c.Get("bounded")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatal("degraded read returned a wrong value")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Get with one hung chunk holder must succeed via parity: %v", err)
+	}
+
+	// Set and Delete may fail (the hung holder never acknowledges) but
+	// must return within the budget rather than block.
+	_ = bounded("Set", func() error { return c.Set("bounded-2", value) })
+	_ = bounded("Delete", func() error { return c.Delete("bounded") })
+}
+
+// TestSlowServerStillCorrect: a pathologically slow (but live) server
+// below the deadline does not produce wrong answers or failures.
+func TestSlowServerStillCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		OpTimeout: 2 * time.Second,
+	})
+	slow := cl.Addrs()[1]
+	netem.Delay(slow, 20*time.Millisecond)
+	defer netem.Restore(slow)
+
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("slow-%d", i)
+		value := bytes.Repeat([]byte{byte('a' + i)}, 4<<10)
+		if err := c.Set(key, value); err != nil {
+			t.Fatalf("Set under delay: %v", err)
+		}
+		got, err := c.Get(key)
+		if err != nil || !bytes.Equal(got, value) {
+			t.Fatalf("Get under delay: %v", err)
+		}
+	}
+}
+
+// TestFlappingServer alternates one server between hung and healthy
+// while operations run with retries enabled: reads must stay correct
+// and every operation must terminate.
+func TestFlappingServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		OpTimeout:    150 * time.Millisecond,
+		MaxRetries:   2,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	flappy := cl.Addrs()[2]
+
+	written := map[string][]byte{}
+	readAll := func(round int) {
+		t.Helper()
+		for k, v := range written {
+			got, err := c.Get(k)
+			if err != nil {
+				t.Fatalf("round %d: Get %s: %v", round, k, err)
+			}
+			if !bytes.Equal(got, v) {
+				t.Fatalf("round %d: Get %s returned a wrong value", round, k)
+			}
+		}
+	}
+	for round := 0; round < 3; round++ {
+		netem.Hang(flappy)
+		// During the outage: writes may fail (they must still
+		// terminate — the test would hang here otherwise), reads must
+		// stay correct via degraded reads.
+		hungKey := fmt.Sprintf("flap-hung-%d", round)
+		hungVal := bytes.Repeat([]byte{byte('a' + round)}, 2<<10)
+		if err := c.Set(hungKey, hungVal); err == nil {
+			written[hungKey] = hungVal
+		}
+		readAll(round)
+
+		netem.Restore(flappy)
+		// After the flap clears, writes must start succeeding again
+		// within a short grace period (the suspect state persists until
+		// a probe goes through and heals it).
+		key := fmt.Sprintf("flap-%d", round)
+		value := bytes.Repeat([]byte{byte('A' + round)}, 2<<10)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := c.Set(key, value); err == nil {
+				written[key] = value
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: writes never recovered after the flap cleared", round)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		readAll(round)
+	}
+}
+
+// TestSuspectServerNotRedialedPerChunk: once a dead server trips the
+// health tracker, further operations must not pay a fresh dial per
+// chunk request — the suspect state fails fast and only spaced probes
+// dial.
+func TestSuspectServerNotRedialedPerChunk(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		MaxRetries: -1,
+	})
+	value := bytes.Repeat([]byte("y"), 8<<10)
+	if err := c.Set("probe-key", value); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := cl.Addrs()[0]
+	netem.Cut(dead)
+	defer netem.Restore(dead)
+	base := netem.DialCount(dead)
+
+	const ops = 30
+	for i := 0; i < ops; i++ {
+		got, err := c.Get("probe-key")
+		if err != nil {
+			t.Fatalf("Get %d with one dead server: %v", i, err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("Get %d returned a wrong value", i)
+		}
+	}
+
+	// Without the tracker every Get would dial the dead server once
+	// (30 dials). With it: threshold failures to trip, plus at most a
+	// few backed-off probes.
+	if dials := netem.DialCount(dead) - base; dials >= ops/2 {
+		t.Fatalf("dead server dialed %d times across %d ops; health tracker not suppressing dials", dials, ops)
+	}
+}
+
+// TestFailedSetDoesNotShadowPreviousValue is the torn-stripe
+// regression: a Set that fails mid-write must never leave the new
+// value readable. The old value may survive or the key may become
+// unavailable, but a Get must not return the failed write's value.
+func TestFailedSetDoesNotShadowPreviousValue(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	v1 := bytes.Repeat([]byte("old"), 4<<10)
+	v2 := bytes.Repeat([]byte("new"), 4<<10)
+
+	for i, addr := range cl.Addrs() {
+		t.Run(fmt.Sprintf("cut-%d", i), func(t *testing.T) {
+			// Fresh client per sub-test: health state from the previous
+			// cut must not leak in.
+			c := newClient(t, cl, core.Config{
+				Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+				OpTimeout:  200 * time.Millisecond,
+				MaxRetries: -1,
+			})
+			key := fmt.Sprintf("shadow-%d", i)
+			if err := c.Set(key, v1); err != nil {
+				t.Fatal(err)
+			}
+			netem.Cut(addr)
+			err := c.Set(key, v2)
+			netem.Restore(addr)
+			if err == nil {
+				t.Fatal("Set with a dead chunk holder must fail")
+			}
+			got, gerr := c.Get(key)
+			if gerr == nil && bytes.Equal(got, v2) {
+				t.Fatal("failed Set's value became readable (torn stripe shadowed the old one)")
+			}
+			if gerr != nil && !errors.Is(gerr, core.ErrNotFound) && !errors.Is(gerr, core.ErrUnavailable) {
+				t.Fatalf("unexpected Get error class: %v", gerr)
+			}
+		})
+	}
+}
+
+// TestHybridDeleteSurfacesECFailure is the hybrid-delete regression:
+// when the erasure-coded side of a hybrid delete fails against enough
+// unreachable holders that the value could survive there, Delete must
+// not report success.
+func TestHybridDeleteSurfacesECFailure(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceHybrid, Replicas: 3, K: 3, M: 2,
+		OpTimeout:  150 * time.Millisecond,
+		MaxRetries: -1,
+	})
+	// Large value: stored erasure-coded across all five servers.
+	value := bytes.Repeat([]byte("z"), 64<<10)
+	if err := c.Set("hybrid-large", value); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hang K servers: the EC delete cannot confirm on enough holders
+	// to rule out a surviving decodable stripe.
+	for _, addr := range cl.Addrs()[:3] {
+		netem.Hang(addr)
+	}
+	defer func() {
+		for _, addr := range cl.Addrs()[:3] {
+			netem.Restore(addr)
+		}
+	}()
+
+	if err := c.Delete("hybrid-large"); err == nil {
+		t.Fatal("hybrid Delete reported success while K chunk holders were unreachable")
+	}
+}
+
+// TestHybridDeleteOfReplicatedValueTolerantOfFewDownHolders: the flip
+// side — a small (replicated) value deletes cleanly even when a
+// minority of servers is unreachable, because fewer than K unreached
+// holders cannot hide an erasure-coded form.
+func TestHybridDeleteOfReplicatedValueTolerantOfFewDownHolders(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceHybrid, Replicas: 3, K: 3, M: 2,
+		OpTimeout:  150 * time.Millisecond,
+		MaxRetries: -1,
+	})
+	for i := 0; i < 8; i++ {
+		if err := c.Set(fmt.Sprintf("hybrid-small-%d", i), []byte("tiny")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One hung server: fewer than K holders unreached.
+	hung := cl.Addrs()[4]
+	netem.Hang(hung)
+	defer netem.Restore(hung)
+
+	deleted := 0
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("hybrid-small-%d", i)
+		if err := c.Delete(key); err != nil {
+			// A key whose replica set includes the hung server may
+			// legitimately fail; skip it.
+			continue
+		}
+		deleted++
+		if _, err := c.Get(key); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("Get %s after successful Delete: %v, want ErrNotFound", key, err)
+		}
+	}
+	if deleted == 0 {
+		t.Fatal("no small key deleted cleanly with a single hung server")
+	}
+}
+
+// TestNotFoundVsUnavailable is the get-classification regression: a
+// missing key reads as ErrNotFound while the unreachable minority
+// cannot hold K chunks, and as ErrUnavailable once it could.
+func TestNotFoundVsUnavailable(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		OpTimeout:  150 * time.Millisecond,
+		MaxRetries: -1,
+	})
+
+	// One hung server: four locations answer not-found, one is silent.
+	// A single silent holder cannot hold K=3 chunks, so the miss is
+	// conclusive.
+	netem.Hang(cl.Addrs()[0])
+	if _, err := c.Get("never-written"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("one hung holder: got %v, want ErrNotFound", err)
+	}
+
+	// Three hung servers: only two answer. Three silent holders could
+	// hold a full stripe, so absence cannot be concluded.
+	netem.Hang(cl.Addrs()[1])
+	netem.Hang(cl.Addrs()[2])
+	defer func() {
+		for _, addr := range cl.Addrs()[:3] {
+			netem.Restore(addr)
+		}
+	}()
+	if _, err := c.Get("never-written"); !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("three hung holders: got %v, want ErrUnavailable", err)
+	}
+}
+
+// TestRetryRecoversAfterBlip: a read issued while the cluster is hung
+// succeeds anyway if the fault clears within the retry budget.
+func TestRetryRecoversAfterBlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		OpTimeout:    100 * time.Millisecond,
+		MaxRetries:   5,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	value := []byte("blip-value")
+	if err := c.Set("blip", value); err != nil {
+		t.Fatal(err)
+	}
+	// Hang three servers (too many for a degraded read), then clear
+	// the fault while the first attempt is timing out.
+	for _, addr := range cl.Addrs()[:3] {
+		netem.Hang(addr)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		for _, addr := range cl.Addrs()[:3] {
+			netem.Restore(addr)
+		}
+	}()
+	got, err := c.Get("blip")
+	if err != nil {
+		t.Fatalf("Get across a transient outage: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("wrong value after retry")
+	}
+}

@@ -74,15 +74,29 @@ func (r *repStrategy) get(key string) ([]byte, error) {
 	if placement == nil {
 		return nil, ErrUnavailable
 	}
+	// Reads are idempotent: retry the whole replica walk on transient
+	// failure with backoff.
+	var value []byte
+	err := r.c.withRetry(func() error {
+		var err error
+		value, err = r.getOnce(key, placement)
+		return err
+	})
+	return value, err
+}
+
+func (r *repStrategy) getOnce(key string, placement []string) ([]byte, error) {
 	start := time.Now()
 	defer func() {
 		r.c.instrument("wait-response", time.Since(start))
 		r.c.instrumentOp()
 	}()
 	// Read from the designated primary; walk the replicas only when a
-	// server has failed (Equation 4's T_check + one round trip).
+	// server has failed (Equation 4's T_check + one round trip). A
+	// suspect primary is demoted to the back of the walk so the common
+	// case never waits on a known-bad server.
 	var lastErr error
-	for _, addr := range placement {
+	for _, addr := range r.c.orderByHealth(distinct(placement)) {
 		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
 		switch {
 		case err == nil:
@@ -91,7 +105,7 @@ func (r *repStrategy) get(key string) ([]byte, error) {
 			// A live server answered authoritatively: the key is gone
 			// (memcached semantics — evictions are cache misses).
 			return nil, ErrNotFound
-		case errors.Is(err, rpc.ErrServerDown):
+		case rpc.IsUnavailable(err):
 			lastErr = err
 			continue
 		default:

@@ -237,8 +237,9 @@ func (e *ecStrategy) verify(key string) (bool, error) {
 			}
 		case errors.Is(err, wire.ErrNotFound):
 			notFound++
-		case errors.Is(err, rpc.ErrServerDown):
-			// Unreachable chunk: cannot attest full consistency.
+		case rpc.IsUnavailable(err):
+			// Unreachable or hung chunk holder: cannot attest full
+			// consistency.
 		default:
 			return false, err
 		}

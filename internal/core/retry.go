@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"time"
+
+	"ecstore/internal/rpc"
+)
+
+// retryBackoffCap bounds the exponential retry backoff so a long
+// retry budget still probes at a useful rate.
+const retryBackoffCap = time.Second
+
+// retriable reports whether an operation failed for a reason that may
+// clear on its own: a timed-out call, a down or suspect server, or too
+// few servers reachable. Authoritative answers (found, not-found,
+// corrupt) are never retriable.
+func retriable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || rpc.IsUnavailable(err)
+}
+
+// withRetry runs op, retrying transient failures up to
+// Config.MaxRetries times with exponential backoff and jitter. Only
+// idempotent operations may go through here: a Set must never be
+// silently retried once any chunk or replica write has been issued,
+// because the first attempt may have partially (or wholly) landed.
+func (c *Client) withRetry(op func() error) error {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= c.cfg.MaxRetries || !retriable(err) {
+			return err
+		}
+		time.Sleep(retryJitter(backoff))
+		if backoff < retryBackoffCap {
+			backoff *= 2
+		}
+	}
+}
+
+// retryJitter spreads d over [d/2, 3d/2) so concurrent operations that
+// failed together do not retry in lockstep against a recovering
+// server.
+func retryJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + rand.N(d)
+}
+
+// orderByHealth partitions addrs into healthy-first order: servers the
+// rpc health tracker currently suspects move to the back, so failover
+// loops try known-good candidates first while still reaching suspects
+// as a last resort (whose probes are how recovery gets noticed).
+func (c *Client) orderByHealth(addrs []string) []string {
+	healthy := make([]string, 0, len(addrs))
+	var suspect []string
+	for _, a := range addrs {
+		if c.pool.Suspect(a) {
+			suspect = append(suspect, a)
+		} else {
+			healthy = append(healthy, a)
+		}
+	}
+	return append(healthy, suspect...)
+}

@@ -1,0 +1,244 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// startStall runs a server that accepts connections and reads requests
+// but never responds — the failure mode of a hung process.
+func startStall(t *testing.T, network transport.Network, addr string) {
+	t.Helper()
+	l, err := network.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					if _, err := wire.ReadRequest(br); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func TestCallTimeout(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	startStall(t, n, "hung")
+	const timeout = 50 * time.Millisecond
+	p := NewPool(n, WithCallTimeout(timeout))
+	defer p.Close()
+	start := time.Now()
+	call, err := p.Send("hung", &wire.Request{Op: wire.OpPing, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.Wait(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	} else if !IsUnavailable(err) {
+		t.Fatal("ErrTimeout must satisfy IsUnavailable")
+	} else if errors.Is(err, ErrServerDown) {
+		t.Fatal("ErrTimeout must not wrap ErrServerDown (writes must not fail over on it)")
+	}
+	if elapsed := time.Since(start); elapsed > 20*timeout {
+		t.Fatalf("timed-out call returned after %v", elapsed)
+	}
+}
+
+func TestSendTimeoutOverridesDefault(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	startStall(t, n, "hung")
+	// No pool-level deadline: only the per-call override bounds it.
+	p := NewPool(n)
+	defer p.Close()
+	call, err := p.SendTimeout("hung", &wire.Request{Op: wire.OpPing, Key: "k"}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.Wait(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+}
+
+// TestLateResponseDoesNotCompleteLaterCall: a response arriving after
+// its call's deadline must be dropped, not delivered to the timed-out
+// call nor to any later call on the same connection.
+func TestLateResponseDoesNotCompleteLaterCall(t *testing.T) {
+	n := transport.NewInproc(transport.Shape{})
+	l, err := n.Listen("slow-once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var served atomic.Int64
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					req, err := wire.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					if served.Add(1) == 1 {
+						// First request: answer long after the caller's
+						// deadline.
+						time.Sleep(150 * time.Millisecond)
+					}
+					_ = wire.WriteResponse(conn, &wire.Response{
+						ID: req.ID, Status: wire.StatusOK, Value: req.Value,
+					})
+				}
+			}()
+		}
+	}()
+
+	// High failure threshold: the timeout must not suspect the server
+	// or drop the connection, so the late response really does arrive
+	// on the same conn the second call uses.
+	p := NewPool(n, WithFailureThreshold(100))
+	defer p.Close()
+
+	first, err := p.SendTimeout("slow-once", &wire.Request{
+		Op: wire.OpGet, Key: "k", Value: []byte("first"),
+	}, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Wait(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("first call: got %v, want ErrTimeout", err)
+	}
+
+	resp, err := p.RoundtripTimeout("slow-once", &wire.Request{
+		Op: wire.OpGet, Key: "k", Value: []byte("second"),
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+	if string(resp.Value) != "second" {
+		t.Fatalf("second call got %q — late first response leaked into a later call", resp.Value)
+	}
+	// The late response must not have mutated the completed first call.
+	if r, err := first.Wait(); !errors.Is(err, ErrTimeout) || r != nil {
+		t.Fatalf("first call changed after completion: resp=%v err=%v", r, err)
+	}
+}
+
+func TestSuspectFailsFastAndProbesRecover(t *testing.T) {
+	netem := transport.NewNetem(transport.NewInproc(transport.Shape{}))
+	p := NewPool(netem,
+		WithFailureThreshold(3),
+		WithProbeBackoff(10*time.Millisecond, 50*time.Millisecond))
+	defer p.Close()
+
+	// Nothing is listening on "flap": every dial fails.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Send("flap", &wire.Request{Op: wire.OpPing, Key: "k"}); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("failure %d: got %v", i, err)
+		}
+	}
+	if !p.Suspect("flap") {
+		t.Fatal("server not suspect after threshold consecutive failures")
+	}
+
+	// While suspect and before the probe window opens, requests fail
+	// fast without a dial.
+	dials := netem.DialCount("flap")
+	for i := 0; i < 10; i++ {
+		if _, err := p.Send("flap", &wire.Request{Op: wire.OpPing, Key: "k"}); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("suspect send: got %v", err)
+		}
+	}
+	if got := netem.DialCount("flap"); got != dials {
+		t.Fatalf("suspect server dialed %d more times during the fast-fail window", got-dials)
+	}
+
+	// Bring the server up; a probe admitted after the window heals it.
+	startEcho(t, netem, "flap")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := p.Roundtrip("flap", &wire.Request{Op: wire.OpPing, Key: "k"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("suspect server never recovered through probes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Suspect("flap") {
+		t.Fatal("server still suspect after a successful probe")
+	}
+}
+
+func TestHealthProbeWindow(t *testing.T) {
+	h := &health{}
+	base, max := 20*time.Millisecond, 80*time.Millisecond
+	boom := errors.New("boom")
+
+	if h.observe(boom, 3, base) {
+		t.Fatal("single failure must not suspect")
+	}
+	if h.snapshot() != StateHealthy {
+		t.Fatal("below threshold: must stay healthy")
+	}
+	h.observe(boom, 3, base)
+	if !h.observe(boom, 3, base) {
+		t.Fatal("threshold failure must report the suspect transition")
+	}
+	if h.snapshot() != StateSuspect {
+		t.Fatal("at threshold: must be suspect")
+	}
+
+	// Exactly one request is admitted per probe window.
+	now := h.nextProbe
+	if !h.admit(now, base, max) {
+		t.Fatal("probe not admitted once the window opened")
+	}
+	if h.admit(now, base, max) {
+		t.Fatal("second request admitted inside the same probe window")
+	}
+	// The backoff doubles but stays capped.
+	if h.probeWait > max {
+		t.Fatalf("probe backoff %v exceeds cap %v", h.probeWait, max)
+	}
+
+	// A success heals the tracker completely.
+	h.observe(nil, 3, base)
+	if h.snapshot() != StateHealthy {
+		t.Fatal("success must reset to healthy")
+	}
+	if !h.admit(now, base, max) {
+		t.Fatal("healthy server must admit freely")
+	}
+	if h.observe(boom, 3, base) {
+		t.Fatal("failure streak must restart after recovery")
+	}
+}
+
+func TestHealthStateString(t *testing.T) {
+	if StateHealthy.String() != "healthy" || StateSuspect.String() != "suspect" {
+		t.Fatalf("got %q/%q", StateHealthy, StateSuspect)
+	}
+}

@@ -7,6 +7,15 @@
 // with package wire and correlated by ID, so many operations can be in
 // flight on a single connection — the transport-level analogue of the
 // paper's non-blocking RDMA verbs.
+//
+// The pool is also the failure detector: every call can carry a
+// deadline (completed with ErrTimeout by a timer when the response
+// does not arrive), and a per-server health tracker turns consecutive
+// failures into a "suspect" state in which requests fail fast and only
+// periodic probes — spaced with exponential backoff and jitter — are
+// let through to detect recovery. Callers therefore never block
+// indefinitely on a hung server and never pay a fresh dial per request
+// to a known-dead one.
 package rpc
 
 import (
@@ -14,22 +23,45 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ecstore/internal/transport"
 	"ecstore/internal/wire"
 )
 
-// ErrServerDown is returned when the remote cannot be dialed or the
-// connection fails mid-call. Callers treat it as a node failure and
-// fall back to replicas or parity chunks.
+// ErrServerDown is returned when the remote cannot be dialed, the
+// connection fails mid-call, or the server is suspect and not due for
+// a probe. Callers treat it as a node failure and fall back to
+// replicas or parity chunks.
 var ErrServerDown = errors.New("rpc: server down")
+
+// ErrTimeout is returned when a call's deadline expires before the
+// response arrives. The server may still be processing the request;
+// only idempotent operations are safe to retry.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// IsUnavailable reports whether err means the server did not usefully
+// answer — down, suspect, or past its deadline — and a replica, parity
+// chunk, or (for idempotent operations) a retry should be used instead.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, ErrServerDown) || errors.Is(err, ErrTimeout)
+}
 
 // Call is a pending request. Exactly one of Resp/Err is set once Done
 // is closed.
 type Call struct {
 	done chan struct{}
-	resp *wire.Response
-	err  error
+
+	mu        sync.Mutex
+	completed bool
+	resp      *wire.Response
+	err       error
+	timer     *time.Timer
+
+	// onDone, when non-nil, observes the completion error exactly once
+	// (the pool's health tracker). It is set before the call can
+	// complete and never mutated afterwards.
+	onDone func(error)
 }
 
 func newCall() *Call { return &Call{done: make(chan struct{})} }
@@ -53,36 +85,124 @@ func (c *Call) Wait() (*wire.Response, error) {
 	return c.resp, c.err
 }
 
+// complete finishes the call exactly once; a late completion (a
+// response racing the deadline timer, or vice versa) is dropped.
 func (c *Call) complete(resp *wire.Response, err error) {
+	c.mu.Lock()
+	if c.completed {
+		c.mu.Unlock()
+		return
+	}
+	c.completed = true
 	c.resp, c.err = resp, err
+	timer := c.timer
+	c.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
 	close(c.done)
+	if c.onDone != nil {
+		c.onDone(err)
+	}
+}
+
+// arm starts the deadline timer unless the call already completed.
+func (c *Call) arm(d time.Duration, expire func()) {
+	c.mu.Lock()
+	if !c.completed {
+		c.timer = time.AfterFunc(d, expire)
+	}
+	c.mu.Unlock()
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithCallTimeout sets the default per-call deadline; 0 (the initial
+// default) disables deadlines. SendTimeout overrides it per call.
+func WithCallTimeout(d time.Duration) Option {
+	return func(p *Pool) { p.timeout = d }
+}
+
+// WithFailureThreshold sets how many consecutive failures move a
+// server to the suspect state (DefaultFailureThreshold if unset).
+func WithFailureThreshold(n int) Option {
+	return func(p *Pool) {
+		if n > 0 {
+			p.failThreshold = n
+		}
+	}
+}
+
+// WithProbeBackoff sets the bounds of the suspect-probe schedule: the
+// first probe is due ~base after the suspect transition, and the
+// interval doubles (with jitter) up to max.
+func WithProbeBackoff(base, max time.Duration) Option {
+	return func(p *Pool) {
+		if base > 0 {
+			p.probeBase = base
+		}
+		if max >= base && max > 0 {
+			p.probeMax = max
+		}
+	}
 }
 
 // Pool manages one multiplexed connection per remote address. It is
 // safe for concurrent use.
 type Pool struct {
-	network transport.Network
+	network       transport.Network
+	timeout       time.Duration
+	failThreshold int
+	probeBase     time.Duration
+	probeMax      time.Duration
 
 	mu     sync.Mutex
 	conns  map[string]*muxConn
+	health map[string]*health
 	closed bool
 }
 
 // NewPool returns a Pool dialing through network.
-func NewPool(network transport.Network) *Pool {
-	return &Pool{network: network, conns: make(map[string]*muxConn)}
+func NewPool(network transport.Network, opts ...Option) *Pool {
+	p := &Pool{
+		network:       network,
+		conns:         make(map[string]*muxConn),
+		health:        make(map[string]*health),
+		failThreshold: DefaultFailureThreshold,
+		probeBase:     DefaultProbeBase,
+		probeMax:      DefaultProbeMax,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
-// Send issues req to addr and returns the pending Call. Dial happens
-// lazily; a broken connection is dropped so the next Send redials.
+// Send issues req to addr and returns the pending Call under the
+// pool's default deadline. Dial happens lazily; a broken connection is
+// dropped so the next Send redials.
 func (p *Pool) Send(addr string, req *wire.Request) (*Call, error) {
+	return p.SendTimeout(addr, req, p.timeout)
+}
+
+// SendTimeout is Send with an explicit per-call deadline (0 = none).
+// A suspect server that is not due for a probe fails immediately with
+// an error wrapping ErrServerDown — no dial is attempted.
+func (p *Pool) SendTimeout(addr string, req *wire.Request, timeout time.Duration) (*Call, error) {
+	h := p.healthFor(addr)
+	if h != nil && !h.admit(time.Now(), p.probeBase, p.probeMax) {
+		return nil, fmt.Errorf("%w: %s: suspect, awaiting probe", ErrServerDown, addr)
+	}
 	mc, err := p.conn(addr)
 	if err != nil {
+		p.observe(addr, err)
 		return nil, err
 	}
-	call, err := mc.send(req)
+	call, err := mc.send(req, timeout, func(callErr error) { p.observe(addr, callErr) })
 	if err != nil {
 		p.drop(addr, mc)
+		p.observe(addr, err)
 		return nil, fmt.Errorf("%w: %s: %v", ErrServerDown, addr, err)
 	}
 	return call, nil
@@ -92,7 +212,12 @@ func (p *Pool) Send(addr string, req *wire.Request) (*Call, error) {
 // error via Response.Err; the response is returned even on status
 // errors so callers can inspect metadata.
 func (p *Pool) Roundtrip(addr string, req *wire.Request) (*wire.Response, error) {
-	call, err := p.Send(addr, req)
+	return p.RoundtripTimeout(addr, req, p.timeout)
+}
+
+// RoundtripTimeout is Roundtrip with an explicit per-call deadline.
+func (p *Pool) RoundtripTimeout(addr string, req *wire.Request, timeout time.Duration) (*wire.Response, error) {
+	call, err := p.SendTimeout(addr, req, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +226,55 @@ func (p *Pool) Roundtrip(addr string, req *wire.Request) (*wire.Response, error)
 		return nil, err
 	}
 	return resp, resp.Err()
+}
+
+// Suspect reports whether addr is currently in the suspect state.
+// Placement and failover code uses it to deprioritize known-bad
+// servers without issuing a request.
+func (p *Pool) Suspect(addr string) bool {
+	p.mu.Lock()
+	h := p.health[addr]
+	p.mu.Unlock()
+	return h != nil && h.snapshot() == StateSuspect
+}
+
+// healthFor returns addr's health tracker, creating it on first use.
+// It returns nil only after Close.
+func (p *Pool) healthFor(addr string) *health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	h, ok := p.health[addr]
+	if !ok {
+		h = &health{}
+		p.health[addr] = h
+	}
+	return h
+}
+
+// observe feeds one call outcome to addr's health tracker. Pool
+// shutdown is not a server failure.
+func (p *Pool) observe(addr string, err error) {
+	if err != nil && errors.Is(err, transport.ErrClosed) {
+		return
+	}
+	h := p.healthFor(addr)
+	if h == nil {
+		return
+	}
+	if h.observe(err, p.failThreshold, p.probeBase) {
+		// Freshly suspect: drop the cached connection (it may be hung)
+		// so the next probe redials from scratch.
+		p.mu.Lock()
+		mc := p.conns[addr]
+		delete(p.conns, addr)
+		p.mu.Unlock()
+		if mc != nil {
+			mc.close(fmt.Errorf("%w: %s: suspect", ErrServerDown, addr))
+		}
+	}
 }
 
 func (p *Pool) conn(addr string) (*muxConn, error) {
@@ -137,6 +311,7 @@ func (p *Pool) Close() {
 	p.mu.Lock()
 	conns := p.conns
 	p.conns = make(map[string]*muxConn)
+	p.health = make(map[string]*health)
 	p.closed = true
 	p.mu.Unlock()
 	for _, mc := range conns {
@@ -175,8 +350,9 @@ func (mc *muxConn) broken() bool {
 	return mc.dead
 }
 
-func (mc *muxConn) send(req *wire.Request) (*Call, error) {
+func (mc *muxConn) send(req *wire.Request, timeout time.Duration, onDone func(error)) (*Call, error) {
 	call := newCall()
+	call.onDone = onDone
 	mc.mu.Lock()
 	if mc.dead {
 		err := mc.deadErr
@@ -204,6 +380,17 @@ func (mc *muxConn) send(req *wire.Request) (*Call, error) {
 		mc.mu.Unlock()
 		mc.close(err)
 		return nil, err
+	}
+	if timeout > 0 {
+		id := req.ID
+		call.arm(timeout, func() {
+			// Remove the pending entry first so a response arriving
+			// after the deadline cannot complete a dead call.
+			mc.mu.Lock()
+			delete(mc.pending, id)
+			mc.mu.Unlock()
+			call.complete(nil, fmt.Errorf("%w after %v", ErrTimeout, timeout))
+		})
 	}
 	return call, nil
 }

@@ -27,6 +27,11 @@ import (
 // DefaultWorkers matches the paper's per-server worker thread count.
 const DefaultWorkers = 8
 
+// DefaultPeerTimeout bounds each peer RPC round trip issued by the
+// server-side encode/decode coordinator, so one hung peer cannot wedge
+// a worker forever.
+const DefaultPeerTimeout = 15 * time.Second
+
 // Config configures a Server.
 type Config struct {
 	// Addr is the address to listen on.
@@ -42,6 +47,10 @@ type Config struct {
 	Store store.Config
 	// Workers sets the worker pool size (DefaultWorkers if zero).
 	Workers int
+	// PeerTimeout bounds each RPC to a peer server during server-side
+	// encode/decode (DefaultPeerTimeout if zero; negative disables
+	// deadlines).
+	PeerTimeout time.Duration
 	// Logf receives diagnostics; log.Printf if nil.
 	Logf func(format string, args ...any)
 }
@@ -111,12 +120,19 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
+	peerTimeout := cfg.PeerTimeout
+	switch {
+	case peerTimeout == 0:
+		peerTimeout = DefaultPeerTimeout
+	case peerTimeout < 0:
+		peerTimeout = 0 // deadlines disabled
+	}
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
 		store:    store.New(cfg.Store),
 		ring:     hashring.New(0),
-		peers:    rpc.NewPool(cfg.Network),
+		peers:    rpc.NewPool(cfg.Network, rpc.WithCallTimeout(peerTimeout)),
 		// The job queue is sized to keep every worker busy while the
 		// readers stay responsive; beyond that, backpressure blocks
 		// the connection reader, which is the desired flow control.
@@ -257,6 +273,22 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Status: wire.StatusOK, Value: v}
 	case wire.OpDelete:
+		// A delete carrying a stripe ID is conditional: it removes the
+		// chunk only if the stored chunk still belongs to that stripe.
+		// The client's failed-write unwind uses this so it never deletes
+		// a chunk a concurrent newer Set has already overwritten.
+		if req.Meta.Stripe != 0 {
+			v, ok := s.store.Get(req.Key)
+			if !ok {
+				return &wire.Response{Status: wire.StatusNotFound}
+			}
+			if m, _, err := wire.DecodeChunkPayload(v); err == nil && m.Stripe != req.Meta.Stripe {
+				// Superseded by a newer write: nothing to unwind.
+				return &wire.Response{Status: wire.StatusOK}
+			}
+			// Matching stripe (or an undecodable chunk, which can only
+			// shadow good data): fall through and delete it.
+		}
 		if !s.store.Delete(req.Key) {
 			return &wire.Response{Status: wire.StatusNotFound}
 		}

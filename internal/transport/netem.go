@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Netem wraps a Network with per-destination fault injection, the
+// userspace analogue of Linux tc-netem for the failure modes a Shape
+// cannot express. Faults are keyed by the dialed address and apply to
+// new and existing connections alike:
+//
+//   - Hang: the server still accepts connections, but requests written
+//     after the fault are swallowed and no response bytes are
+//     delivered — a hung process or a partition after accept.
+//   - Delay: every delivery of response bytes is held back by a fixed
+//     duration — a live but pathologically slow server.
+//   - Cut: new dials are refused and established connections fail on
+//     their next read or write — a dead host.
+//
+// Netem also counts dials per address, which tests use to assert that
+// the client's health tracker stops re-dialing known-dead servers.
+// The listen side passes straight through to the inner network.
+type Netem struct {
+	inner Network
+
+	mu    sync.Mutex
+	dials map[string]int
+	cut   map[string]bool
+	hung  map[string]bool
+	delay map[string]time.Duration
+}
+
+// NewNetem wraps inner with fault injection (no faults active).
+func NewNetem(inner Network) *Netem {
+	return &Netem{
+		inner: inner,
+		dials: make(map[string]int),
+		cut:   make(map[string]bool),
+		hung:  make(map[string]bool),
+		delay: make(map[string]time.Duration),
+	}
+}
+
+var _ Network = (*Netem)(nil)
+
+// Listen binds addr on the inner network.
+func (n *Netem) Listen(addr string) (Listener, error) { return n.inner.Listen(addr) }
+
+// Dial connects to addr, applying the active faults. Every attempt is
+// counted, including refused ones.
+func (n *Netem) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	n.dials[addr]++
+	cut := n.cut[addr]
+	n.mu.Unlock()
+	if cut {
+		return nil, ErrConnRefused
+	}
+	// A hung server still accepts: dial the real listener so the accept
+	// happens, then let the wrapper stall the traffic.
+	inner, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &netemConn{net: n, addr: addr, inner: inner}, nil
+}
+
+// Hang makes addr accept-then-stall: connections open but carry no
+// traffic until Restore.
+func (n *Netem) Hang(addr string) {
+	n.mu.Lock()
+	n.hung[addr] = true
+	n.mu.Unlock()
+}
+
+// Delay holds every response delivery from addr back by d.
+func (n *Netem) Delay(addr string, d time.Duration) {
+	n.mu.Lock()
+	n.delay[addr] = d
+	n.mu.Unlock()
+}
+
+// Cut kills addr: new dials are refused and established connections
+// error on use, until Restore.
+func (n *Netem) Cut(addr string) {
+	n.mu.Lock()
+	n.cut[addr] = true
+	n.mu.Unlock()
+}
+
+// Restore clears every fault on addr.
+func (n *Netem) Restore(addr string) {
+	n.mu.Lock()
+	delete(n.cut, addr)
+	delete(n.hung, addr)
+	delete(n.delay, addr)
+	n.mu.Unlock()
+}
+
+// DialCount returns how many dials addr has received (including
+// refused ones).
+func (n *Netem) DialCount(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dials[addr]
+}
+
+// netemConn applies the current faults of its destination on every
+// read and write, so a fault engaged mid-connection takes effect on
+// in-flight traffic too.
+type netemConn struct {
+	net   *Netem
+	addr  string
+	inner Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *netemConn) faults() (hung, cut bool, delay time.Duration, closed bool) {
+	c.net.mu.Lock()
+	hung = c.net.hung[c.addr]
+	cut = c.net.cut[c.addr]
+	delay = c.net.delay[c.addr]
+	c.net.mu.Unlock()
+	c.mu.Lock()
+	closed = c.closed
+	c.mu.Unlock()
+	return hung, cut, delay, closed
+}
+
+func (c *netemConn) Read(p []byte) (int, error) {
+	for {
+		hung, cut, delay, closed := c.faults()
+		if closed {
+			return 0, ErrClosed
+		}
+		if cut {
+			return 0, ErrConnRefused
+		}
+		if !hung {
+			n, err := c.inner.Read(p)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return n, err
+		}
+		// Stalled link: poll until the fault clears or the conn closes.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *netemConn) Write(p []byte) (int, error) {
+	hung, cut, _, closed := c.faults()
+	if closed {
+		return 0, ErrClosed
+	}
+	if cut {
+		return 0, ErrConnRefused
+	}
+	if hung {
+		// Swallowed by the stalled link: the caller sees a successful
+		// write that the server never receives.
+		return len(p), nil
+	}
+	return c.inner.Write(p)
+}
+
+func (c *netemConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.inner.Close()
+}
