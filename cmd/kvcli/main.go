@@ -10,7 +10,8 @@
 //	setfile <key> <path>  store a file's contents
 //	get <key>             print a value
 //	del <key>             delete a key
-//	stats                 print per-server store statistics
+//	stats [full]          print per-server store statistics ("full"
+//	                      adds every server and client metric)
 //	ping                  check liveness of every server
 //	repair <key>          restore full chunk/replica redundancy
 //	verify <key>          scrub a stripe's parity consistency
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"ecstore/internal/core"
+	"ecstore/internal/metrics"
 	"ecstore/internal/stats"
 	"ecstore/internal/transport"
 )
@@ -73,6 +75,7 @@ func run() error {
 	opTimeout := flag.Duration("op-timeout", 0, "per-RPC deadline (0 = default 15s, negative disables)")
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
+	metricsAddr := flag.String("metrics-addr", "", "serve client-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -100,6 +103,13 @@ func run() error {
 		return err
 	}
 	defer client.Close()
+	if *metricsAddr != "" {
+		closeMetrics, err := metrics.Serve(*metricsAddr, client.Metrics())
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer closeMetrics()
+	}
 
 	switch args[0] {
 	case "set":
@@ -132,6 +142,10 @@ func run() error {
 		}
 		return client.Delete(args[1])
 	case "stats":
+		// `stats` prints the one-line store summary per server;
+		// `stats full` adds every server-side metric (counters, gauges,
+		// latency histograms) below each line, plus the client's own.
+		full := len(args) > 1 && args[1] == "full"
 		for _, addr := range strings.Split(*servers, ",") {
 			st, err := client.ServerStats(addr)
 			if err != nil {
@@ -140,6 +154,23 @@ func run() error {
 			}
 			fmt.Printf("%-24s items=%d used=%dB hits=%d misses=%d evictions=%d\n",
 				addr, st.Items, st.UsedBytes, st.Hits, st.Misses, st.Evictions)
+			if !full {
+				continue
+			}
+			snap, err := client.ServerMetrics(addr)
+			if err != nil {
+				fmt.Printf("  metrics unavailable (%v)\n", err)
+				continue
+			}
+			for _, line := range strings.Split(snap.String(), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		if full {
+			fmt.Println("client:")
+			for _, line := range strings.Split(client.Metrics().Snapshot().String(), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
 		}
 		return nil
 	case "ping":

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"syscall"
 
+	"ecstore/internal/metrics"
 	"ecstore/internal/server"
 	"ecstore/internal/store"
 	"ecstore/internal/transport"
@@ -36,6 +37,7 @@ func run() error {
 	memMB := flag.Int64("mem-mb", 0, "memory budget in MiB (0 = unlimited)")
 	workers := flag.Int("workers", server.DefaultWorkers, "worker pool size")
 	noEvict := flag.Bool("no-evict", false, "fail writes when full instead of evicting LRU items")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at http://<addr>/metrics (empty = disabled)")
 	flag.Parse()
 
 	peerList := []string{*addr}
@@ -57,6 +59,15 @@ func run() error {
 		return err
 	}
 	log.Printf("kvserver listening on %s (peers: %v, workers: %d)", srv.Addr(), peerList, *workers)
+	if *metricsAddr != "" {
+		closeMetrics, err := metrics.Serve(*metricsAddr, srv.Metrics())
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer closeMetrics()
+		log.Printf("kvserver metrics at http://%s/metrics", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -20,6 +20,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/memproto"
+	"ecstore/internal/metrics"
 	"ecstore/internal/transport"
 )
 
@@ -40,6 +41,7 @@ func run() error {
 	opTimeout := flag.Duration("op-timeout", 0, "per-RPC deadline (0 = default 15s, negative disables)")
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
+	metricsAddr := flag.String("metrics-addr", "", "serve proxy-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
 	flag.Parse()
 
 	resilience, scheme, err := parseMode(*mode)
@@ -63,6 +65,14 @@ func run() error {
 		return err
 	}
 	defer client.Close()
+	if *metricsAddr != "" {
+		closeMetrics, err := metrics.Serve(*metricsAddr, client.Metrics())
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer closeMetrics()
+		log.Printf("memproxy metrics at http://%s/metrics", *metricsAddr)
+	}
 
 	ln, err := transport.TCP{}.Listen(*listen)
 	if err != nil {

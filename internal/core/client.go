@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"ecstore/internal/hashring"
+	"ecstore/internal/metrics"
 	"ecstore/internal/rpc"
+	"ecstore/internal/stats"
 	"ecstore/internal/store"
 	"ecstore/internal/wire"
 )
@@ -39,9 +41,50 @@ type Client struct {
 	// protocol behaviour rather than buffering convenience.
 	window chan struct{}
 
+	// Metric handles resolved once at construction; the strategies
+	// record through these on every operation.
+	ops           map[string]*opMetrics
+	mRetries      *metrics.Counter
+	mDegraded     *metrics.Counter
+	mRebuilt      *metrics.Counter
+	mUnwinds      *metrics.Counter
+	mFailovers    *metrics.Counter
+	mReconstructs *metrics.Counter
+
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// opMetrics bundles the per-operation metric handles: totals, errors,
+// end-to-end latency, and the three per-phase latency series of the
+// paper's Figure 9 breakdown.
+type opMetrics struct {
+	total   *metrics.Counter
+	errs    *metrics.Counter
+	seconds *stats.Histogram
+	phases  map[string]*stats.Histogram
+}
+
+// Phase names recorded by the strategies. They match the labels the
+// benchmarks have always used for the Figure 9 breakdown.
+const (
+	phaseRequest = "request"
+	phaseWait    = "wait-response"
+	phaseCode    = "encode-decode"
+)
+
+func newOpMetrics(reg *metrics.Registry, op string) *opMetrics {
+	phases := make(map[string]*stats.Histogram, 3)
+	for _, ph := range []string{phaseRequest, phaseWait, phaseCode} {
+		phases[ph] = reg.Histogram(fmt.Sprintf("ecstore_client_phase_seconds{op=%q,phase=%q}", op, ph))
+	}
+	return &opMetrics{
+		total:   reg.Counter(fmt.Sprintf("ecstore_client_ops_total{op=%q}", op)),
+		errs:    reg.Counter(fmt.Sprintf("ecstore_client_op_errors_total{op=%q}", op)),
+		seconds: reg.Histogram(fmt.Sprintf("ecstore_client_op_seconds{op=%q}", op)),
+		phases:  phases,
+	}
 }
 
 // strategy executes whole operations under a resilience scheme. The
@@ -58,15 +101,29 @@ func New(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
 	c := &Client{
 		cfg: cfg,
 		// The pool is the failure detector: per-call deadlines bound
 		// every round trip, and the per-server health tracker turns
 		// repeated failures into a fast-failing suspect state — see
-		// Config.OpTimeout and Config.MaxRetries.
-		pool:   rpc.NewPool(cfg.Network, rpc.WithCallTimeout(cfg.OpTimeout)),
+		// Config.OpTimeout and Config.MaxRetries. It shares the
+		// client's metrics registry, so rpc call/timeout/health
+		// counters land next to the per-op series.
+		pool:   rpc.NewPool(cfg.Network, rpc.WithCallTimeout(cfg.OpTimeout), rpc.WithMetrics(reg)),
 		ring:   hashring.New(0),
 		window: make(chan struct{}, cfg.Window),
+		ops: map[string]*opMetrics{
+			"set":    newOpMetrics(reg, "set"),
+			"get":    newOpMetrics(reg, "get"),
+			"delete": newOpMetrics(reg, "delete"),
+		},
+		mRetries:      reg.Counter("ecstore_client_retries_total"),
+		mDegraded:     reg.Counter("ecstore_client_degraded_reads_total"),
+		mRebuilt:      reg.Counter("ecstore_client_chunks_rebuilt_total"),
+		mUnwinds:      reg.Counter("ecstore_client_stripe_unwinds_total"),
+		mFailovers:    reg.Counter("ecstore_client_failovers_total"),
+		mReconstructs: reg.Counter("ecstore_client_reconstructions_total"),
 	}
 	for _, s := range cfg.Servers {
 		c.ring.Add(s)
@@ -138,35 +195,55 @@ func (c *Client) submit(f *Future, fn func() ([]byte, error)) *Future {
 	return f
 }
 
+// measured wraps an operation body with the per-op metrics: total and
+// error counters plus the end-to-end latency histogram (timed from
+// execution start, so the ARPE window wait is not charged to the op).
+func (c *Client) measured(op string, fn func() ([]byte, error)) func() ([]byte, error) {
+	om := c.ops[op]
+	return func() ([]byte, error) {
+		start := time.Now()
+		v, err := fn()
+		om.seconds.Record(time.Since(start))
+		om.total.Inc()
+		if err != nil {
+			om.errs.Inc()
+		}
+		return v, err
+	}
+}
+
 // ISet stores value under key without blocking; completion is
 // observed through the returned Future (memcached_iset).
 func (c *Client) ISet(key string, value []byte) *Future {
 	return c.ISetTTL(key, value, 0)
 }
 
-// ISetTTL is ISet with an item lifetime; ttl is rounded down to whole
-// seconds on the wire (0 = no expiry, as in memcached).
+// ISetTTL is ISet with an item lifetime (0 = no expiry, as in
+// memcached). The wire carries whole seconds, so ttl is rounded UP to
+// the next second: a sub-second TTL becomes 1s rather than silently
+// truncating to 0 (which would mean "never expires") — an item may
+// live slightly longer than requested, never forever.
 func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
 	f := newFuture()
-	return c.submit(f, func() ([]byte, error) {
+	return c.submit(f, c.measured("set", func() ([]byte, error) {
 		return nil, c.strat.set(key, value, ttl)
-	})
+	}))
 }
 
 // IGet fetches key without blocking (memcached_iget).
 func (c *Client) IGet(key string) *Future {
 	f := newFuture()
-	return c.submit(f, func() ([]byte, error) {
+	return c.submit(f, c.measured("get", func() ([]byte, error) {
 		return c.strat.get(key)
-	})
+	}))
 }
 
 // IDelete removes key without blocking.
 func (c *Client) IDelete(key string) *Future {
 	f := newFuture()
-	return c.submit(f, func() ([]byte, error) {
+	return c.submit(f, c.measured("delete", func() ([]byte, error) {
 		return nil, c.strat.del(key)
-	})
+	}))
 }
 
 // Set stores value under key, blocking until the configured resilience
@@ -211,6 +288,38 @@ func (c *Client) ServerStats(addr string) (store.Stats, error) {
 		return store.Stats{}, fmt.Errorf("core: decode stats: %w", err)
 	}
 	return st, nil
+}
+
+// Metrics returns the client's metrics registry (Config.Metrics, or
+// the one created at construction). Serve it over HTTP with
+// metrics.Serve, or snapshot it for the stats subcommand.
+func (c *Client) Metrics() *metrics.Registry { return c.cfg.Metrics }
+
+// ServerMetrics fetches one server's metrics snapshot, carried by the
+// extended OpStats wire response next to the store statistics.
+func (c *Client) ServerMetrics(addr string) (metrics.Snapshot, error) {
+	resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpStats, Key: "stats"})
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	var payload struct {
+		Metrics metrics.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(resp.Value, &payload); err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("core: decode metrics: %w", err)
+	}
+	return payload.Metrics, nil
+}
+
+// ttlSeconds converts an item lifetime to the whole seconds the wire
+// carries, rounding UP so a sub-second TTL becomes 1s instead of 0
+// (0 on the wire means "no expiry" — truncation would make short-lived
+// items immortal).
+func ttlSeconds(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	return uint32((ttl + time.Second - 1) / time.Second)
 }
 
 // placement returns the n servers holding key's replicas or chunks:

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"ecstore/internal/metrics"
 	"ecstore/internal/stats"
 	"ecstore/internal/transport"
 )
@@ -163,8 +164,18 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry, doubling with
 	// jitter per attempt (DefaultRetryBackoff if zero).
 	RetryBackoff time.Duration
+	// Metrics is the registry the client publishes its always-on
+	// observability into: per-op counts and latencies, per-phase
+	// latency histograms (the Figure 9 breakdown), degraded reads,
+	// failovers, stripe unwinds, retries, and the rpc pool's call /
+	// timeout / health-transition counters. A fresh registry is
+	// created if nil; expose it with Client.Metrics.
+	Metrics *metrics.Registry
 	// Instrument, when non-nil, receives the per-op phase breakdown
-	// (encode / request / wait-response) used by Figure 9.
+	// (encode / request / wait-response) used by Figure 9. It is fed
+	// from the same instrumentation points as Metrics — a benchmark-
+	// friendly consumer of the registry's phase stream, not a parallel
+	// mechanism.
 	Instrument *stats.Breakdown
 }
 
@@ -211,6 +222,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
 	}
 	if cfg.K+cfg.M > 256 {
 		return cfg, fmt.Errorf("core: K+M too large (%d)", cfg.K+cfg.M)

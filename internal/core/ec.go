@@ -69,7 +69,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 		return err
 	}
 	encoded := time.Now()
-	e.c.instrument("encode-decode", encoded.Sub(start))
+	e.c.instrument("set", phaseCode, encoded.Sub(start))
 
 	meta := wire.ECMeta{
 		K:        uint8(e.k),
@@ -86,7 +86,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 			Op:         wire.OpSetChunk,
 			Key:        wire.ChunkKey(key, i),
 			Value:      wire.EncodeChunkPayload(cm, shards[i]),
-			TTLSeconds: uint32(ttl / time.Second),
+			TTLSeconds: ttlSeconds(ttl),
 			Meta:       cm,
 		})
 		if err != nil {
@@ -96,7 +96,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 		calls = append(calls, call)
 	}
 	issued := time.Now()
-	e.c.instrument("request", issued.Sub(encoded))
+	e.c.instrument("set", phaseRequest, issued.Sub(encoded))
 	// Wait out every issued call even after a failure: returning early
 	// would let the remaining in-flight chunk writes keep landing after
 	// the error is reported, leaving a torn stripe of this write that
@@ -110,7 +110,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 			firstErr = fmt.Errorf("chunk %d write: %w", i, err)
 		}
 	}
-	e.c.instrument("wait-response", time.Since(issued))
+	e.c.instrument("set", phaseWait, time.Since(issued))
 	e.c.instrumentOp()
 	if firstErr != nil {
 		// calls[i] carries chunk i (the issue loop stops at the first
@@ -128,6 +128,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 // holder that is down keeps its stale chunk, but with fewer than K
 // chunks the dead stripe can never be decoded or shadow an older one.
 func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64, issued int) {
+	e.c.mUnwinds.Inc()
 	// Cleanup runs after the failed write already spent up to one full
 	// deadline waiting; half a deadline here keeps the whole Set within
 	// the documented 2x OpTimeout bound even when the same hung holder
@@ -157,17 +158,20 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m), TotalLen: uint32(len(value))}
 	start := time.Now()
 	defer func() {
-		e.c.instrument("wait-response", time.Since(start))
+		e.c.instrument("set", phaseWait, time.Since(start))
 		e.c.instrumentOp()
 	}()
 	var lastErr error
 	// Healthy coordinators first: a suspect primary is tried last (its
 	// probe window still lets recovery be noticed) instead of eating a
 	// dial or deadline on every write.
-	for _, addr := range e.c.orderByHealth(distinct(placement)) {
+	for i, addr := range e.c.orderByHealth(distinct(placement)) {
+		if i > 0 {
+			e.c.mFailovers.Inc()
+		}
 		_, err := e.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpEncodeSet, Key: key, Value: value,
-			TTLSeconds: uint32(ttl / time.Second), Meta: meta,
+			TTLSeconds: ttlSeconds(ttl), Meta: meta,
 		})
 		if err == nil {
 			return nil
@@ -254,7 +258,7 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 		fetch(e.k, n)
 	}
 	gathered := time.Now()
-	e.c.instrument("wait-response", gathered.Sub(start))
+	e.c.instrument("get", phaseWait, gathered.Sub(start))
 	_, totalLen, chunks, ok := collector.Best()
 	if !ok {
 		e.c.instrumentOp()
@@ -279,6 +283,8 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 		}
 	}
 	if len(rebuilt) > 0 {
+		e.c.mDegraded.Inc()
+		e.c.mRebuilt.Add(int64(len(rebuilt)))
 		if err := erasure.ReconstructData(e.code, chunks); err != nil {
 			return nil, err
 		}
@@ -289,7 +295,7 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 	for _, i := range rebuilt {
 		erasure.DefaultPool.Put(chunks[i])
 	}
-	e.c.instrument("encode-decode", time.Since(gathered))
+	e.c.instrument("get", phaseCode, time.Since(gathered))
 	e.c.instrumentOp()
 	if err != nil {
 		return nil, err
@@ -303,14 +309,17 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, er
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m)}
 	start := time.Now()
 	defer func() {
-		e.c.instrument("wait-response", time.Since(start))
+		e.c.instrument("get", phaseWait, time.Since(start))
 		e.c.instrumentOp()
 	}()
 	var lastErr error
 	// Unlike serverEncodeSet, a decode coordinator that times out IS
 	// failed over: the read is idempotent, so asking another server is
 	// always safe.
-	for _, addr := range e.c.orderByHealth(distinct(placement)) {
+	for i, addr := range e.c.orderByHealth(distinct(placement)) {
+		if i > 0 {
+			e.c.mFailovers.Inc()
+		}
 		resp, err := e.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpDecodeGet, Key: key, Meta: meta,
 		})
@@ -415,14 +424,26 @@ func (h *hybridStrategy) set(key string, value []byte, ttl time.Duration) error 
 func (h *hybridStrategy) get(key string) ([]byte, error) {
 	// The write-side size is unknown at read time: probe the cheap
 	// replicated form first, then the erasure-coded form.
-	v, err := h.rep.get(key)
-	if err == nil {
+	v, repErr := h.rep.get(key)
+	if repErr == nil {
 		return v, nil
 	}
-	if !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrUnavailable) {
-		return nil, err
+	if !errors.Is(repErr, ErrNotFound) && !errors.Is(repErr, ErrUnavailable) {
+		return nil, repErr
 	}
-	return h.ec.get(key)
+	v, ecErr := h.ec.get(key)
+	if ecErr == nil {
+		return v, nil
+	}
+	// "Not found" is conclusive only when BOTH probes answered
+	// authoritatively. An EC-side miss proves nothing about the
+	// replicated form: a small value whose replica holders are all
+	// unreachable would otherwise be misreported as absent when it
+	// still exists — so the replicated probe's unavailability wins.
+	if errors.Is(ecErr, ErrNotFound) && errors.Is(repErr, ErrUnavailable) {
+		return nil, repErr
+	}
+	return nil, ecErr
 }
 
 func (h *hybridStrategy) del(key string) error {

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ecstore/internal/core"
+)
+
+// TestMetricsMoveAcrossOps exercises the whole observability layer end
+// to end: client-side op/phase/rpc series move across a Set/Get/Delete
+// cycle, a degraded read is counted as such, and the server-side
+// snapshot fetched over the wire carries dispatch and store counters.
+func TestMetricsMoveAcrossOps(t *testing.T) {
+	cl, netem := startNetemCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+		OpTimeout:  300 * time.Millisecond,
+		MaxRetries: -1,
+	})
+
+	value := bytes.Repeat([]byte("m"), 16<<10)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("metrics-%d", i)
+		if err := c.Set(key, value); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := c.Get(key); err != nil || !bytes.Equal(got, value) {
+			t.Fatalf("Get %s: %v", key, err)
+		}
+	}
+	if err := c.Delete("metrics-0"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := c.Metrics().Snapshot()
+	wantCounters := map[string]int64{
+		`ecstore_client_ops_total{op="set"}`:    3,
+		`ecstore_client_ops_total{op="get"}`:    3,
+		`ecstore_client_ops_total{op="delete"}`: 1,
+		"ecstore_rpc_calls_total":               15, // >= 5 chunks x 3 sets
+	}
+	for name, min := range wantCounters {
+		if got := snap.Counter(name); got < min {
+			t.Errorf("%s = %d, want >= %d", name, got, min)
+		}
+	}
+	for _, name := range []string{
+		`ecstore_client_op_seconds{op="set"}`,
+		`ecstore_client_op_seconds{op="get"}`,
+		`ecstore_client_phase_seconds{op="set",phase="encode-decode"}`,
+		`ecstore_client_phase_seconds{op="get",phase="wait-response"}`,
+		"ecstore_rpc_call_seconds",
+	} {
+		if h, ok := snap.Histograms[name]; !ok || h.Count == 0 {
+			t.Errorf("histogram %s empty (present=%v)", name, ok)
+		}
+	}
+	if snap.Counter("ecstore_client_degraded_reads_total") != 0 {
+		t.Error("degraded reads counted on a healthy cluster")
+	}
+
+	// Kill one chunk holder: the next read reconstructs from parity and
+	// must show up in the degraded-read and rebuilt-chunk counters.
+	dead := cl.Addrs()[0]
+	netem.Cut(dead)
+	if got, err := c.Get("metrics-1"); err != nil || !bytes.Equal(got, value) {
+		t.Fatalf("degraded Get: %v", err)
+	}
+	netem.Restore(dead)
+
+	snap = c.Metrics().Snapshot()
+	if got := snap.Counter("ecstore_client_degraded_reads_total"); got < 1 {
+		t.Errorf("degraded_reads_total = %d after a read past a dead holder, want >= 1", got)
+	}
+	if got := snap.Counter("ecstore_client_chunks_rebuilt_total"); got < 1 {
+		t.Errorf("chunks_rebuilt_total = %d after a degraded read, want >= 1", got)
+	}
+
+	// Server-side snapshot over the wire: dispatch and store counters
+	// of a live chunk holder must have moved.
+	srv, err := c.ServerMetrics(cl.Addrs()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Counter(`ecstore_server_ops_total{op="set-chunk"}`); got < 1 {
+		t.Errorf(`server ops_total{op="set-chunk"} = %d, want >= 1`, got)
+	}
+	if got, ok := srv.Gauges["ecstore_store_sets_total"]; !ok || got < 1 {
+		t.Errorf("server store sets_total = %d (present=%v), want >= 1", got, ok)
+	}
+	if h, ok := srv.Histograms["ecstore_server_handle_seconds"]; !ok || h.Count == 0 {
+		t.Error("server handle-latency histogram empty")
+	}
+
+	// The flat legacy shape must still decode alongside the metrics.
+	st, err := c.ServerStats(cl.Addrs()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sets < 1 {
+		t.Errorf("legacy ServerStats.Sets = %d, want >= 1", st.Sets)
+	}
+}

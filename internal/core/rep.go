@@ -20,7 +20,7 @@ type repStrategy struct {
 var _ strategy = (*repStrategy)(nil)
 
 func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
-	ttlSecs := uint32(ttl / time.Second)
+	ttlSecs := ttlSeconds(ttl)
 	placement := r.c.placement(key, r.replicas)
 	if placement == nil {
 		return ErrUnavailable
@@ -35,38 +35,46 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
 			}); err != nil {
 				return err
 			}
-			r.c.instrument("wait-response", time.Since(start))
+			r.c.instrument("set", phaseWait, time.Since(start))
 		}
 		r.c.instrumentOp()
 		return nil
 	}
 	// Async-Rep: issue every replica write, then wait for all
-	// (Equation 6: max over replicas of (L + D/B)).
+	// (Equation 6: max over replicas of (L + D/B)). A Send failure
+	// stops issuing, but the error is held until every already-issued
+	// replica write has been waited out: returning early would let
+	// those writes keep landing after the failure is reported, so a
+	// caller acting on the error (rewrite, delete, give up) would race
+	// its own torn write — the same torn-write class the EC set path
+	// guards against.
 	start := time.Now()
 	calls := make([]*rpc.Call, 0, len(placement))
+	var firstErr error
 	for _, addr := range placement {
 		call, err := r.c.pool.Send(addr, &wire.Request{
 			Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
 		})
 		if err != nil {
-			return err
+			firstErr = err
+			break
 		}
 		calls = append(calls, call)
 	}
 	issued := time.Now()
-	r.c.instrument("request", issued.Sub(start))
+	r.c.instrument("set", phaseRequest, issued.Sub(start))
 	for _, call := range calls {
 		resp, err := call.Wait()
 		if err == nil {
 			err = resp.Err()
 		}
-		if err != nil {
-			return err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	r.c.instrument("wait-response", time.Since(issued))
+	r.c.instrument("set", phaseWait, time.Since(issued))
 	r.c.instrumentOp()
-	return nil
+	return firstErr
 }
 
 func (r *repStrategy) get(key string) ([]byte, error) {
@@ -88,7 +96,7 @@ func (r *repStrategy) get(key string) ([]byte, error) {
 func (r *repStrategy) getOnce(key string, placement []string) ([]byte, error) {
 	start := time.Now()
 	defer func() {
-		r.c.instrument("wait-response", time.Since(start))
+		r.c.instrument("get", phaseWait, time.Since(start))
 		r.c.instrumentOp()
 	}()
 	// Read from the designated primary; walk the replicas only when a
@@ -96,7 +104,10 @@ func (r *repStrategy) getOnce(key string, placement []string) ([]byte, error) {
 	// suspect primary is demoted to the back of the walk so the common
 	// case never waits on a known-bad server.
 	var lastErr error
-	for _, addr := range r.c.orderByHealth(distinct(placement)) {
+	for i, addr := range r.c.orderByHealth(distinct(placement)) {
+		if i > 0 {
+			r.c.mFailovers.Inc()
+		}
 		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
 		switch {
 		case err == nil:
@@ -146,8 +157,16 @@ func (r *repStrategy) del(key string) error {
 	return nil
 }
 
-// instrument records a phase duration when instrumentation is enabled.
-func (c *Client) instrument(phase string, d time.Duration) {
+// instrument records one phase duration into the per-op latency
+// histogram of the metrics registry; the optional Config.Instrument
+// breakdown consumes the same stream (phase-keyed, as the benchmarks
+// have always rendered it).
+func (c *Client) instrument(op, phase string, d time.Duration) {
+	if om := c.ops[op]; om != nil {
+		if h := om.phases[phase]; h != nil {
+			h.Record(d)
+		}
+	}
 	if c.cfg.Instrument != nil {
 		c.cfg.Instrument.Add(phase, d)
 	}

@@ -169,6 +169,7 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 	if err := e.code.Reconstruct(chunks); err != nil {
 		return report, err
 	}
+	e.c.mReconstructs.Inc()
 	// The rebuilt chunks were drawn from the shared shard pool; the
 	// rewrite payloads below copy them, so hand them back once every
 	// write has completed. Surviving chunks are network-owned and are

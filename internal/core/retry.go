@@ -32,6 +32,7 @@ func (c *Client) withRetry(op func() error) error {
 		if err == nil || attempt >= c.cfg.MaxRetries || !retriable(err) {
 			return err
 		}
+		c.mRetries.Inc()
 		time.Sleep(retryJitter(backoff))
 		if backoff < retryBackoffCap {
 			backoff *= 2

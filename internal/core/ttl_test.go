@@ -37,7 +37,7 @@ func TestSetTTLExpires(t *testing.T) {
 	c := newClient(t, cl, core.Config{
 		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
 	})
-	// 1s is the smallest wire-representable TTL.
+	// The wire carries whole seconds (sub-second TTLs round up to 1s).
 	if err := c.SetTTL("ephemeral", []byte("v"), time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// ttlSeconds must round up: 0 on the wire means "no expiry", so any
+// positive sub-second TTL has to become at least 1.
+func TestTTLSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		ttl  time.Duration
+		want uint32
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Nanosecond, 1},
+		{50 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{time.Hour, 3600},
+	} {
+		if got := ttlSeconds(tc.ttl); got != tc.want {
+			t.Errorf("ttlSeconds(%v) = %d, want %d", tc.ttl, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Serve exposes the registry at http://addr/metrics in the background
+// and returns a function that shuts the listener down. It is the
+// implementation behind the binaries' -metrics-addr flag.
+func Serve(addr string, r *Registry) (close func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, nil
+}

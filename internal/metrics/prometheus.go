@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseName returns the metric name with any embedded label block
+// stripped: `foo{op="set"}` -> `foo`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel merges an extra label into a metric name that may already
+// carry an embedded label block.
+func withLabel(name, label, value string) string {
+	pair := fmt.Sprintf(`%s=%q`, label, value)
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + pair + "}"
+	}
+	return name + "{" + pair + "}"
+}
+
+// promSeries is one renderable time series.
+type promSeries struct {
+	base  string
+	typ   string // counter | gauge | summary
+	lines []string
+}
+
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as integer
+// samples, histograms as summaries with p50/p95/p99 quantiles and
+// _sum/_count series, all durations converted to seconds. Output is
+// sorted by metric name so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	series := make([]promSeries, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	for name, v := range snap.Counters {
+		series = append(series, promSeries{
+			base:  baseName(name),
+			typ:   "counter",
+			lines: []string{fmt.Sprintf("%s %d", name, v)},
+		})
+	}
+	for name, v := range snap.Gauges {
+		series = append(series, promSeries{
+			base:  baseName(name),
+			typ:   "gauge",
+			lines: []string{fmt.Sprintf("%s %d", name, v)},
+		})
+	}
+	for name, h := range snap.Histograms {
+		base := baseName(name)
+		series = append(series, promSeries{
+			base: base,
+			typ:  "summary",
+			lines: []string{
+				fmt.Sprintf("%s %s", withLabel(name, "quantile", "0.5"), formatSeconds(int64(h.P50))),
+				fmt.Sprintf("%s %s", withLabel(name, "quantile", "0.95"), formatSeconds(int64(h.P95))),
+				fmt.Sprintf("%s %s", withLabel(name, "quantile", "0.99"), formatSeconds(int64(h.P99))),
+				fmt.Sprintf("%s_sum%s %s", base, labelBlock(name), formatSeconds(int64(h.Sum))),
+				fmt.Sprintf("%s_count%s %d", base, labelBlock(name), h.Count),
+			},
+		})
+	}
+	sort.Slice(series, func(i, j int) bool {
+		if series[i].base != series[j].base {
+			return series[i].base < series[j].base
+		}
+		return series[i].lines[0] < series[j].lines[0]
+	})
+	lastBase := ""
+	for _, s := range series {
+		if s.base != lastBase {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.base, s.typ); err != nil {
+				return err
+			}
+			lastBase = s.base
+		}
+		for _, line := range s.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelBlock returns the embedded label block of a name (including
+// braces), or "" when the name carries none.
+func labelBlock(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[i:]
+	}
+	return ""
+}

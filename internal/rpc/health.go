@@ -84,26 +84,29 @@ func (h *health) admit(now time.Time, base, max time.Duration) bool {
 	return true
 }
 
-// observe records one call outcome and reports whether the server just
-// transitioned to suspect (the caller then drops its cached
-// connection so the next probe redials).
-func (h *health) observe(err error, threshold int, base time.Duration) (toSuspect bool) {
+// observe records one call outcome and reports state transitions:
+// toSuspect when the server just crossed the failure threshold (the
+// caller then drops its cached connection so the next probe redials),
+// recovered when a probe of a suspect server succeeded and the circuit
+// closed again.
+func (h *health) observe(err error, threshold int, base time.Duration) (toSuspect, recovered bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if err == nil {
+		recovered = h.state == StateSuspect
 		h.state = StateHealthy
 		h.fails = 0
 		h.probeWait = 0
-		return false
+		return false, recovered
 	}
 	h.fails++
 	if h.state == StateHealthy && h.fails >= threshold {
 		h.state = StateSuspect
 		h.probeWait = base
 		h.nextProbe = time.Now().Add(jitter(base))
-		return true
+		return true, false
 	}
-	return false
+	return false, false
 }
 
 // jitter spreads d over [d/2, 3d/2) so probes from many clients (or

@@ -197,14 +197,14 @@ func TestHealthProbeWindow(t *testing.T) {
 	base, max := 20*time.Millisecond, 80*time.Millisecond
 	boom := errors.New("boom")
 
-	if h.observe(boom, 3, base) {
+	if toSuspect, _ := h.observe(boom, 3, base); toSuspect {
 		t.Fatal("single failure must not suspect")
 	}
 	if h.snapshot() != StateHealthy {
 		t.Fatal("below threshold: must stay healthy")
 	}
 	h.observe(boom, 3, base)
-	if !h.observe(boom, 3, base) {
+	if toSuspect, _ := h.observe(boom, 3, base); !toSuspect {
 		t.Fatal("threshold failure must report the suspect transition")
 	}
 	if h.snapshot() != StateSuspect {
@@ -224,15 +224,17 @@ func TestHealthProbeWindow(t *testing.T) {
 		t.Fatalf("probe backoff %v exceeds cap %v", h.probeWait, max)
 	}
 
-	// A success heals the tracker completely.
-	h.observe(nil, 3, base)
+	// A success heals the tracker completely and reports the recovery.
+	if _, recovered := h.observe(nil, 3, base); !recovered {
+		t.Fatal("successful probe of a suspect server must report recovery")
+	}
 	if h.snapshot() != StateHealthy {
 		t.Fatal("success must reset to healthy")
 	}
 	if !h.admit(now, base, max) {
 		t.Fatal("healthy server must admit freely")
 	}
-	if h.observe(boom, 3, base) {
+	if toSuspect, recovered := h.observe(boom, 3, base); toSuspect || recovered {
 		t.Fatal("failure streak must restart after recovery")
 	}
 }

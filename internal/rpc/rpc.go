@@ -25,6 +25,8 @@ import (
 	"sync"
 	"time"
 
+	"ecstore/internal/metrics"
+	"ecstore/internal/stats"
 	"ecstore/internal/transport"
 	"ecstore/internal/wire"
 )
@@ -148,6 +150,16 @@ func WithProbeBackoff(base, max time.Duration) Option {
 	}
 }
 
+// WithMetrics publishes the pool's counters into reg: calls issued,
+// completions by outcome (ok / timeout / error), sends suppressed by
+// the suspect fast-fail, dials and dial failures, health-state
+// transitions, the number of currently suspect servers, and a
+// call-latency histogram. A nil registry (the default) discards all
+// of it.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(p *Pool) { p.reg = reg }
+}
+
 // Pool manages one multiplexed connection per remote address. It is
 // safe for concurrent use.
 type Pool struct {
@@ -156,6 +168,22 @@ type Pool struct {
 	failThreshold int
 	probeBase     time.Duration
 	probeMax      time.Duration
+	reg           *metrics.Registry
+
+	// Metric handles are resolved once at construction so the hot send
+	// path pays one atomic op per event, not a registry lookup.
+	mCalls       *metrics.Counter
+	mOK          *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mCallErrors  *metrics.Counter
+	mSendErrors  *metrics.Counter
+	mFailFast    *metrics.Counter
+	mDials       *metrics.Counter
+	mDialErrors  *metrics.Counter
+	mToSuspect   *metrics.Counter
+	mRecoveries  *metrics.Counter
+	gSuspect     *metrics.Gauge
+	hCallSeconds *stats.Histogram
 
 	mu     sync.Mutex
 	conns  map[string]*muxConn
@@ -176,6 +204,18 @@ func NewPool(network transport.Network, opts ...Option) *Pool {
 	for _, o := range opts {
 		o(p)
 	}
+	p.mCalls = p.reg.Counter("ecstore_rpc_calls_total")
+	p.mOK = p.reg.Counter("ecstore_rpc_ok_total")
+	p.mTimeouts = p.reg.Counter("ecstore_rpc_timeouts_total")
+	p.mCallErrors = p.reg.Counter("ecstore_rpc_call_errors_total")
+	p.mSendErrors = p.reg.Counter("ecstore_rpc_send_errors_total")
+	p.mFailFast = p.reg.Counter("ecstore_rpc_failfast_total")
+	p.mDials = p.reg.Counter("ecstore_rpc_dials_total")
+	p.mDialErrors = p.reg.Counter("ecstore_rpc_dial_errors_total")
+	p.mToSuspect = p.reg.Counter("ecstore_rpc_suspect_transitions_total")
+	p.mRecoveries = p.reg.Counter("ecstore_rpc_recoveries_total")
+	p.gSuspect = p.reg.Gauge("ecstore_rpc_suspect_servers")
+	p.hCallSeconds = p.reg.Histogram("ecstore_rpc_call_seconds")
 	return p
 }
 
@@ -192,19 +232,35 @@ func (p *Pool) Send(addr string, req *wire.Request) (*Call, error) {
 func (p *Pool) SendTimeout(addr string, req *wire.Request, timeout time.Duration) (*Call, error) {
 	h := p.healthFor(addr)
 	if h != nil && !h.admit(time.Now(), p.probeBase, p.probeMax) {
+		p.mFailFast.Inc()
 		return nil, fmt.Errorf("%w: %s: suspect, awaiting probe", ErrServerDown, addr)
 	}
 	mc, err := p.conn(addr)
 	if err != nil {
+		p.mSendErrors.Inc()
 		p.observe(addr, err)
 		return nil, err
 	}
-	call, err := mc.send(req, timeout, func(callErr error) { p.observe(addr, callErr) })
+	start := time.Now()
+	call, err := mc.send(req, timeout, func(callErr error) {
+		p.hCallSeconds.Record(time.Since(start))
+		switch {
+		case callErr == nil:
+			p.mOK.Inc()
+		case errors.Is(callErr, ErrTimeout):
+			p.mTimeouts.Inc()
+		default:
+			p.mCallErrors.Inc()
+		}
+		p.observe(addr, callErr)
+	})
 	if err != nil {
+		p.mSendErrors.Inc()
 		p.drop(addr, mc)
 		p.observe(addr, err)
 		return nil, fmt.Errorf("%w: %s: %v", ErrServerDown, addr, err)
 	}
+	p.mCalls.Inc()
 	return call, nil
 }
 
@@ -264,7 +320,14 @@ func (p *Pool) observe(addr string, err error) {
 	if h == nil {
 		return
 	}
-	if h.observe(err, p.failThreshold, p.probeBase) {
+	toSuspect, recovered := h.observe(err, p.failThreshold, p.probeBase)
+	if recovered {
+		p.mRecoveries.Inc()
+		p.gSuspect.Add(-1)
+	}
+	if toSuspect {
+		p.mToSuspect.Inc()
+		p.gSuspect.Add(1)
 		// Freshly suspect: drop the cached connection (it may be hung)
 		// so the next probe redials from scratch.
 		p.mu.Lock()
@@ -286,8 +349,10 @@ func (p *Pool) conn(addr string) (*muxConn, error) {
 	if mc, ok := p.conns[addr]; ok && !mc.broken() {
 		return mc, nil
 	}
+	p.mDials.Inc()
 	raw, err := p.network.Dial(addr)
 	if err != nil {
+		p.mDialErrors.Inc()
 		return nil, fmt.Errorf("%w: %s: %v", ErrServerDown, addr, err)
 	}
 	mc := newMuxConn(raw)

@@ -18,7 +18,9 @@ import (
 
 	"ecstore/internal/erasure"
 	"ecstore/internal/hashring"
+	"ecstore/internal/metrics"
 	"ecstore/internal/rpc"
+	"ecstore/internal/stats"
 	"ecstore/internal/store"
 	"ecstore/internal/transport"
 	"ecstore/internal/wire"
@@ -53,6 +55,11 @@ type Config struct {
 	PeerTimeout time.Duration
 	// Logf receives diagnostics; log.Printf if nil.
 	Logf func(format string, args ...any)
+	// Metrics receives the server's counters, gauges, and latency
+	// histograms (ecstore_server_*, ecstore_store_*, and the rpc_*
+	// series of the peer pool). A fresh registry is created when nil,
+	// reachable via Server.Metrics, so instrumentation is always on.
+	Metrics *metrics.Registry
 }
 
 // Server is a running key-value store server.
@@ -65,6 +72,12 @@ type Server struct {
 	jobs     chan job
 	quit     chan struct{}
 	logf     func(format string, args ...any)
+
+	reg            *metrics.Registry
+	mOps           map[wire.Op]*metrics.Counter
+	mOpsUnknown    *metrics.Counter
+	mOpErrors      *metrics.Counter
+	hHandleSeconds *stats.Histogram
 
 	mu     sync.Mutex
 	conns  map[*connWriter]struct{}
@@ -127,12 +140,16 @@ func New(cfg Config) (*Server, error) {
 	case peerTimeout < 0:
 		peerTimeout = 0 // deadlines disabled
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
 		store:    store.New(cfg.Store),
 		ring:     hashring.New(0),
-		peers:    rpc.NewPool(cfg.Network, rpc.WithCallTimeout(peerTimeout)),
+		peers:    rpc.NewPool(cfg.Network, rpc.WithCallTimeout(peerTimeout), rpc.WithMetrics(reg)),
 		// The job queue is sized to keep every worker busy while the
 		// readers stay responsive; beyond that, backpressure blocks
 		// the connection reader, which is the desired flow control.
@@ -141,7 +158,24 @@ func New(cfg Config) (*Server, error) {
 		logf:  logf,
 		conns: make(map[*connWriter]struct{}),
 		codes: make(map[[2]int]erasure.Code),
+
+		reg:            reg,
+		mOpsUnknown:    reg.Counter(`ecstore_server_ops_total{op="unknown"}`),
+		mOpErrors:      reg.Counter("ecstore_server_op_errors_total"),
+		hHandleSeconds: reg.Histogram("ecstore_server_handle_seconds"),
 	}
+	s.mOps = make(map[wire.Op]*metrics.Counter)
+	for _, op := range []wire.Op{
+		wire.OpSet, wire.OpGet, wire.OpDelete, wire.OpSetChunk, wire.OpGetChunk,
+		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing,
+	} {
+		s.mOps[op] = reg.Counter(fmt.Sprintf("ecstore_server_ops_total{op=%q}", op))
+	}
+	s.store.RegisterMetrics(reg)
+	// The queue depth is read through the channel at snapshot time
+	// rather than kept as an inc/dec pair, so it can never drift.
+	reg.RegisterFunc("ecstore_server_job_queue_depth", func() int64 { return int64(len(s.jobs)) })
+	reg.Gauge("ecstore_server_workers").Set(int64(workers))
 	for _, p := range cfg.Peers {
 		s.ring.Add(p)
 	}
@@ -159,6 +193,10 @@ func (s *Server) Addr() string { return s.listener.Addr() }
 
 // Store exposes the underlying item store (used by stats and tests).
 func (s *Server) Store() *store.Store { return s.store }
+
+// Metrics returns the server's metrics registry — the same registry an
+// OpStats request serializes and the -metrics-addr endpoint scrapes.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Close stops the server: the listener closes, open connections are
 // torn down, and workers drain.
@@ -235,7 +273,9 @@ func (s *Server) worker() {
 	for {
 		select {
 		case j := <-s.jobs:
+			start := time.Now()
 			resp := s.handle(j.req)
+			s.hHandleSeconds.Record(time.Since(start))
 			resp.ID = j.req.ID
 			// A write error means the connection died; its read loop
 			// cleans up.
@@ -258,6 +298,20 @@ func errorResponse(err error) *wire.Response {
 }
 
 func (s *Server) handle(req *wire.Request) *wire.Response {
+	if c, ok := s.mOps[req.Op]; ok {
+		c.Inc()
+	} else {
+		s.mOpsUnknown.Inc()
+	}
+	resp := s.dispatch(req)
+	// Not-found is a normal cache outcome, not a server error.
+	if resp.Status != wire.StatusOK && resp.Status != wire.StatusNotFound {
+		s.mOpErrors.Inc()
+	}
+	return resp
+}
+
+func (s *Server) dispatch(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{Status: wire.StatusOK}
@@ -298,7 +352,13 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.OpDecodeGet:
 		return s.handleDecodeGet(req)
 	case wire.OpStats:
-		data, err := json.Marshal(s.store.Stats())
+		// The payload keeps the historical flat store.Stats keys at the
+		// top level (old clients keep decoding) and nests the full
+		// metrics snapshot under "metrics" for new ones.
+		data, err := json.Marshal(struct {
+			store.Stats
+			Metrics metrics.Snapshot `json:"metrics"`
+		}{Stats: s.store.Stats(), Metrics: s.reg.Snapshot()})
 		if err != nil {
 			return errorResponse(err)
 		}

@@ -179,6 +179,7 @@ func (h *Histogram) Merge(other *Histogram) {
 // Summary is a compact snapshot of a histogram.
 type Summary struct {
 	Count uint64
+	Sum   time.Duration
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
@@ -191,6 +192,7 @@ type Summary struct {
 func (h *Histogram) Summarize() Summary {
 	return Summary{
 		Count: h.Count(),
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
 		P50:   h.Percentile(50),
 		P95:   h.Percentile(95),

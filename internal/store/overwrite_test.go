@@ -1,0 +1,97 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestFailedOverwritePreservesOldValue is the destructive-overwrite
+// regression: a Set that fails for lack of memory must leave the
+// previous value under the key readable, not remove it first and then
+// discover the replacement does not fit.
+func TestFailedOverwritePreservesOldValue(t *testing.T) {
+	const budget = 300
+	s := New(Config{MaxBytes: budget, Shards: 1, DisableEviction: true})
+
+	v1 := bytes.Repeat([]byte("a"), 100)
+	if err := s.Set("k", v1, 0); err != nil { // 157 bytes accounted
+		t.Fatal(err)
+	}
+	if err := s.Set("o", bytes.Repeat([]byte("o"), 80), 0); err != nil { // +137 = 294
+		t.Fatal(err)
+	}
+
+	// A new key that does not fit fails without touching anything.
+	if err := s.Set("k2", bytes.Repeat([]byte("b"), 50), 0); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Set into a full no-evict shard: %v, want ErrOutOfMemory", err)
+	}
+	if got, ok := s.Get("k"); !ok || !bytes.Equal(got, v1) {
+		t.Fatalf("value lost after unrelated failed Set: %q, %v", got, ok)
+	}
+
+	// An overwrite that fits the budget alone but not the occupied
+	// shard (even crediting the entry it replaces) must fail and leave
+	// the old value readable.
+	if err := s.Set("k", bytes.Repeat([]byte("c"), 180), 0); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("too-large no-evict overwrite: %v, want ErrOutOfMemory", err)
+	}
+	if got, ok := s.Get("k"); !ok || !bytes.Equal(got, v1) {
+		t.Fatal("old value destroyed by a failed overwrite")
+	}
+
+	// Same for an overwrite exceeding the whole budget.
+	if err := s.Set("k", bytes.Repeat([]byte("d"), budget), 0); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("oversized overwrite: %v, want ErrValueTooLarge", err)
+	}
+	if got, ok := s.Get("k"); !ok || !bytes.Equal(got, v1) {
+		t.Fatal("old value destroyed by a failed oversized overwrite")
+	}
+}
+
+// A same-size overwrite of a full shard must succeed: the budget check
+// credits the entry being replaced.
+func TestOverwriteCreditsReplacedEntry(t *testing.T) {
+	budget := itemSize("k", make([]byte, 100))
+	s := New(Config{MaxBytes: budget, Shards: 1, DisableEviction: true})
+	if err := s.Set("k", bytes.Repeat([]byte("a"), 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	v2 := bytes.Repeat([]byte("b"), 100)
+	if err := s.Set("k", v2, 0); err != nil {
+		t.Fatalf("same-size overwrite of a full shard: %v", err)
+	}
+	if got, ok := s.Get("k"); !ok || !bytes.Equal(got, v2) {
+		t.Fatal("overwrite did not take effect")
+	}
+	if used := s.UsedBytes(); used != budget {
+		t.Fatalf("used bytes %d after same-size overwrite, want %d", used, budget)
+	}
+}
+
+// With eviction enabled, an overwrite that needs the room held by
+// other entries evicts them — and if eviction consumes the entry being
+// overwritten itself, accounting stays exact.
+func TestOverwriteWithEviction(t *testing.T) {
+	small := make([]byte, 10)
+	budget := 4 * itemSize("kN", small)
+	s := New(Config{MaxBytes: budget, Shards: 1})
+	for _, k := range []string{"k1", "k2", "k3", "k4"} {
+		if err := s.Set(k, small, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite the oldest (LRU tail) entry with a value needing most
+	// of the budget: eviction must clear the others, and may well evict
+	// k1 itself before the overwrite lands.
+	big := make([]byte, int(budget)-len("k1")-ItemOverhead)
+	if err := s.Set("k1", big, 0); err != nil {
+		t.Fatalf("growing overwrite with eviction enabled: %v", err)
+	}
+	if got, ok := s.Get("k1"); !ok || !bytes.Equal(got, big) {
+		t.Fatal("grown overwrite not readable")
+	}
+	if used := s.UsedBytes(); used > budget {
+		t.Fatalf("used bytes %d exceed budget %d after evicting overwrite", used, budget)
+	}
+}

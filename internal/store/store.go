@@ -12,6 +12,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"ecstore/internal/metrics"
 )
 
 // ItemOverhead approximates the per-item metadata cost (hash entry,
@@ -141,22 +143,35 @@ func (s *Store) Set(key string, value []byte, ttl time.Duration) error {
 		sh.stats.Failures++
 		return ErrValueTooLarge
 	}
-	if el, ok := sh.items[key]; ok {
-		sh.used -= el.Value.(*entry).size
-		sh.lru.Remove(el)
-		delete(sh.items, key)
+	// An overwrite must not destroy the existing entry until the new
+	// one is guaranteed to fit: a Set failing with ErrOutOfMemory has
+	// to leave the previous value readable. The budget check therefore
+	// credits the old entry's size (it will be replaced, not added)
+	// and the removal happens only on the success path below.
+	old, overwriting := sh.items[key]
+	var oldSize int64
+	if overwriting {
+		oldSize = old.Value.(*entry).size
 	}
 	if sh.maxBytes > 0 {
-		for sh.used+size > sh.maxBytes {
-			if sh.noEvict {
+		for sh.used-oldSize+size > sh.maxBytes {
+			if sh.noEvict || !sh.evictOldestLocked() {
 				sh.stats.Failures++
 				return ErrOutOfMemory
 			}
-			if !sh.evictOldestLocked() {
-				sh.stats.Failures++
-				return ErrOutOfMemory
+			// Eviction walks the LRU tail and may have consumed the
+			// entry being overwritten; stop crediting it if so.
+			if overwriting {
+				if _, still := sh.items[key]; !still {
+					overwriting, oldSize = false, 0
+				}
 			}
 		}
+	}
+	if overwriting {
+		sh.used -= oldSize
+		sh.lru.Remove(old)
+		delete(sh.items, key)
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
@@ -279,6 +294,28 @@ func (s *Store) Stats() Stats {
 		out.Failures += st.Failures
 	}
 	return out
+}
+
+// RegisterMetrics publishes the store's counters into reg as
+// ecstore_store_* function gauges, evaluated lazily at snapshot or
+// scrape time — the store keeps its existing per-shard accounting and
+// the registry reads through it, so there is no double bookkeeping.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	register := func(name string, read func(Stats) int64) {
+		reg.RegisterFunc("ecstore_store_"+name, func() int64 { return read(s.Stats()) })
+	}
+	register("items", func(st Stats) int64 { return st.Items })
+	register("used_bytes", func(st Stats) int64 { return st.UsedBytes })
+	register("max_bytes", func(st Stats) int64 { return st.MaxBytes })
+	register("gets_total", func(st Stats) int64 { return st.Gets })
+	register("hits_total", func(st Stats) int64 { return st.Hits })
+	register("misses_total", func(st Stats) int64 { return st.Misses })
+	register("sets_total", func(st Stats) int64 { return st.Sets })
+	register("deletes_total", func(st Stats) int64 { return st.Deletes })
+	register("evictions_total", func(st Stats) int64 { return st.Evictions })
+	register("evicted_bytes_total", func(st Stats) int64 { return st.EvictBytes })
+	register("expired_total", func(st Stats) int64 { return st.Expired })
+	register("failures_total", func(st Stats) int64 { return st.Failures })
 }
 
 // Flush removes every item.
