@@ -15,6 +15,10 @@
 //	ping                  check liveness of every server
 //	repair <key>          restore full chunk/replica redundancy
 //	verify <key>          scrub a stripe's parity consistency
+//	scan                  list every logical key in the cluster
+//	scrub                 run one anti-entropy cycle (scan, verify,
+//	                      repair) and print the report; with
+//	                      -scrub-interval > 0 keep cycling forever
 //	bench <n> <size>      time n Set+Get round trips of `size` bytes
 //
 // Modes: none, sync-rep, async-rep, era-ce-cd, era-se-sd, era-se-cd,
@@ -32,6 +36,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/metrics"
+	"ecstore/internal/scrub"
 	"ecstore/internal/stats"
 	"ecstore/internal/transport"
 )
@@ -76,6 +81,9 @@ func run() error {
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
 	metricsAddr := flag.String("metrics-addr", "", "serve client-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "for the scrub command: keep running cycles at this period (0 = one cycle and exit)")
+	scrubRate := flag.Float64("scrub-rate", 0, "scrub keyspace walk rate in keys/sec (0 = default 1000, negative disables throttling)")
+	scrubConcurrency := flag.Int("scrub-concurrency", 0, "max concurrent scrub repairs (0 = default 4)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -206,6 +214,39 @@ func run() error {
 			fmt.Println("stripe INCOMPLETE or parity mismatch (run repair)")
 		}
 		return nil
+	case "scan":
+		keys, err := client.ScanKeys()
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+		fmt.Fprintf(os.Stderr, "%d keys\n", len(keys))
+		return nil
+	case "scrub":
+		daemon, err := scrub.New(scrub.Config{
+			Client:        client,
+			Interval:      -1, // cycles are driven below, not by the timer
+			Rate:          *scrubRate,
+			MaxConcurrent: *scrubConcurrency,
+			Metrics:       client.Metrics(),
+			Logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		for {
+			report := daemon.RunCycle(nil)
+			fmt.Println(report)
+			if report.Err != nil {
+				return report.Err
+			}
+			if *scrubInterval <= 0 {
+				return nil
+			}
+			time.Sleep(*scrubInterval)
+		}
 	case "bench":
 		if len(args) != 3 {
 			return fmt.Errorf("usage: bench <n> <size>")

@@ -21,6 +21,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/memproto"
 	"ecstore/internal/metrics"
+	"ecstore/internal/scrub"
 	"ecstore/internal/transport"
 )
 
@@ -42,6 +43,9 @@ func run() error {
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
 	metricsAddr := flag.String("metrics-addr", "", "serve proxy-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "run the anti-entropy scrubber at this period (0 = disabled)")
+	scrubRate := flag.Float64("scrub-rate", 0, "scrub keyspace walk rate in keys/sec (0 = default 1000, negative disables throttling)")
+	scrubConcurrency := flag.Int("scrub-concurrency", 0, "max concurrent scrub repairs (0 = default 4)")
 	flag.Parse()
 
 	resilience, scheme, err := parseMode(*mode)
@@ -72,6 +76,23 @@ func run() error {
 		}
 		defer closeMetrics()
 		log.Printf("memproxy metrics at http://%s/metrics", *metricsAddr)
+	}
+
+	if *scrubInterval > 0 {
+		daemon, err := scrub.New(scrub.Config{
+			Client:        client,
+			Interval:      *scrubInterval,
+			Rate:          *scrubRate,
+			MaxConcurrent: *scrubConcurrency,
+			Metrics:       client.Metrics(),
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		daemon.Start()
+		defer daemon.Stop()
+		log.Printf("memproxy: anti-entropy scrubber every %v (rate %v keys/s)", *scrubInterval, *scrubRate)
 	}
 
 	ln, err := transport.TCP{}.Listen(*listen)

@@ -43,13 +43,15 @@ type Client struct {
 
 	// Metric handles resolved once at construction; the strategies
 	// record through these on every operation.
-	ops           map[string]*opMetrics
-	mRetries      *metrics.Counter
-	mDegraded     *metrics.Counter
-	mRebuilt      *metrics.Counter
-	mUnwinds      *metrics.Counter
-	mFailovers    *metrics.Counter
-	mReconstructs *metrics.Counter
+	ops            map[string]*opMetrics
+	mRetries       *metrics.Counter
+	mDegraded      *metrics.Counter
+	mRebuilt       *metrics.Counter
+	mUnwinds       *metrics.Counter
+	mFailovers     *metrics.Counter
+	mReconstructs  *metrics.Counter
+	mScans         *metrics.Counter
+	mScanUnreached *metrics.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -118,12 +120,14 @@ func New(cfg Config) (*Client, error) {
 			"get":    newOpMetrics(reg, "get"),
 			"delete": newOpMetrics(reg, "delete"),
 		},
-		mRetries:      reg.Counter("ecstore_client_retries_total"),
-		mDegraded:     reg.Counter("ecstore_client_degraded_reads_total"),
-		mRebuilt:      reg.Counter("ecstore_client_chunks_rebuilt_total"),
-		mUnwinds:      reg.Counter("ecstore_client_stripe_unwinds_total"),
-		mFailovers:    reg.Counter("ecstore_client_failovers_total"),
-		mReconstructs: reg.Counter("ecstore_client_reconstructions_total"),
+		mRetries:       reg.Counter("ecstore_client_retries_total"),
+		mDegraded:      reg.Counter("ecstore_client_degraded_reads_total"),
+		mRebuilt:       reg.Counter("ecstore_client_chunks_rebuilt_total"),
+		mUnwinds:       reg.Counter("ecstore_client_stripe_unwinds_total"),
+		mFailovers:     reg.Counter("ecstore_client_failovers_total"),
+		mReconstructs:  reg.Counter("ecstore_client_reconstructions_total"),
+		mScans:         reg.Counter("ecstore_client_scans_total"),
+		mScanUnreached: reg.Counter("ecstore_client_scan_servers_unreached_total"),
 	}
 	for _, s := range cfg.Servers {
 		c.ring.Add(s)

@@ -415,10 +415,27 @@ type hybridStrategy struct {
 var _ strategy = (*hybridStrategy)(nil)
 
 func (h *hybridStrategy) set(key string, value []byte, ttl time.Duration) error {
+	// After the write lands, purge the OTHER representation: a previous
+	// write of this key may have been on the far side of the size
+	// threshold, and its leftovers would shadow this value on the
+	// rep-first read path or fail verification forever. The purge is
+	// best-effort — the new value is already durable, and the
+	// anti-entropy scrubber converges whatever a down holder makes this
+	// miss — but it must run AFTER the write succeeds, never before:
+	// purging first and then failing the write would lose the old value
+	// without installing the new one.
 	if len(value) < h.threshold {
-		return h.rep.set(key, value, ttl)
+		if err := h.rep.set(key, value, ttl); err != nil {
+			return err
+		}
+		_ = h.ec.del(key)
+		return nil
 	}
-	return h.ec.set(key, value, ttl)
+	if err := h.ec.set(key, value, ttl); err != nil {
+		return err
+	}
+	_ = h.rep.del(key)
+	return nil
 }
 
 func (h *hybridStrategy) get(key string) ([]byte, error) {

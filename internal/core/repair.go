@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -60,9 +61,13 @@ func (c *Client) IRepair(key string) *Future {
 }
 
 // repair for replication: find a live copy, then rewrite the replicas
-// that are missing.
+// that are missing — absent, unreachable, or diverged. Divergence is
+// real under async replication torn by a crash: two holders answer
+// with different bytes, and only a rewrite reconverges them. The first
+// reachable holder in placement order is authoritative, matching the
+// read path, so repair makes durable exactly what reads observe.
 func (r *repStrategy) repair(key string) (RepairReport, error) {
-	placement := r.c.placement(key, r.replicas)
+	placement := distinct(r.c.placement(key, r.replicas))
 	if placement == nil {
 		return RepairReport{}, ErrUnavailable
 	}
@@ -77,6 +82,10 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 			if !found {
 				value = resp.Value
 				found = true
+				continue
+			}
+			if !bytes.Equal(resp.Value, value) {
+				missing = append(missing, addr) // diverged: rewrite below
 			}
 			continue
 		}
@@ -115,7 +124,7 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 	report := RepairReport{Checked: n}
 
 	collector := wire.NewChunkCollector(e.k, n)
-	notFound := 0
+	notFound, reached := 0, 0
 	calls := make(map[int]*rpc.Call, n)
 	for i := 0; i < n; i++ {
 		call, err := e.c.pool.Send(placement[i], &wire.Request{
@@ -131,6 +140,7 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 		if err != nil {
 			continue
 		}
+		reached++ // the holder is alive and answered authoritatively
 		if respErr := resp.Err(); respErr != nil {
 			if errors.Is(respErr, wire.ErrNotFound) {
 				notFound++
@@ -148,8 +158,20 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 		if collector.Seen() == 0 && notFound == n {
 			return report, ErrNotFound
 		}
-		have := collector.Seen()
-		if have == 0 {
+		if reached == n {
+			// Every chunk holder is alive and answered, yet no stripe
+			// retains K chunks: the value is irrecoverably lost (more
+			// than M holders crashed empty before a repair could run).
+			// Leaving the orphan chunks behind would make every future
+			// read and every scrub cycle fail on a value that cannot
+			// come back, so treat this as authoritative loss: purge the
+			// remnants and report a clean miss.
+			if err := e.del(key); err != nil && !errors.Is(err, ErrNotFound) {
+				return report, err
+			}
+			return report, ErrNotFound
+		}
+		if collector.Seen() == 0 {
 			return report, ErrUnavailable
 		}
 		return report, fmt.Errorf("%w: no stripe of %q has %d chunks", ErrUnavailable, key, e.k)
@@ -200,20 +222,62 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 	return report, nil
 }
 
-// Verify scrubs one erasure-coded key: it fetches every chunk and
-// checks that the stored parity is consistent with the data chunks,
-// detecting silent corruption (not just loss). It returns true when
-// all K+M chunks are present and consistent. Only the erasure modes
-// support verification; replication has no parity to check.
+// Verify scrubs one key's redundancy. For erasure-coded values it
+// fetches every chunk and checks that the stored parity is consistent
+// with the data chunks, detecting silent corruption (not just loss);
+// it returns true when all K+M chunks are present and consistent. For
+// replicated values it checks that every replica location holds a
+// byte-identical copy — there is no parity, but a missing or diverged
+// replica is exactly what the anti-entropy scrubber must catch before
+// the next failure makes it data loss.
 func (c *Client) Verify(key string) (bool, error) {
-	type verifier interface {
-		verify(key string) (bool, error)
-	}
 	v, ok := c.strat.(verifier)
 	if !ok {
 		return false, fmt.Errorf("core: resilience mode %v does not support verify", c.cfg.Resilience)
 	}
 	return v.verify(key)
+}
+
+// verifier is implemented by strategies that can attest full
+// redundancy of a key.
+type verifier interface {
+	verify(key string) (bool, error)
+}
+
+// verify for replication: all replica locations must answer with
+// byte-identical copies. An unreachable holder means full redundancy
+// cannot be attested (false, nil — the repair decision is the
+// caller's); a holder that answers not-found while another holds the
+// value is a lost replica (false, nil); all holders answering
+// not-found is an authoritative miss.
+func (r *repStrategy) verify(key string) (bool, error) {
+	placement := distinct(r.c.placement(key, r.replicas))
+	if placement == nil {
+		return false, ErrUnavailable
+	}
+	var ref []byte
+	have, notFound := 0, 0
+	for _, addr := range placement {
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
+		switch {
+		case err == nil:
+			if have > 0 && !bytes.Equal(resp.Value, ref) {
+				return false, nil // diverged replicas: needs repair
+			}
+			ref = resp.Value
+			have++
+		case errors.Is(err, wire.ErrNotFound):
+			notFound++
+		case rpc.IsUnavailable(err):
+			// Unreachable holder: cannot attest full redundancy.
+		default:
+			return false, err
+		}
+	}
+	if notFound == len(placement) {
+		return false, ErrNotFound
+	}
+	return have == len(placement), nil
 }
 
 func (e *ecStrategy) verify(key string) (bool, error) {
@@ -260,23 +324,48 @@ func (e *ecStrategy) verify(key string) (bool, error) {
 }
 
 func (h *hybridStrategy) verify(key string) (bool, error) {
-	ok, err := h.ec.verify(key)
-	if errors.Is(err, ErrNotFound) {
-		// Small values are replicated; report healthy if a replica
-		// answers (byte-level parity does not apply).
-		if _, gerr := h.rep.get(key); gerr == nil {
-			return true, nil
-		}
-		return false, err
+	// Probe both representations. A small value must have its full,
+	// byte-identical replica set (a single live replica is NOT healthy;
+	// it is one failure away from loss, which is what the scrubber
+	// exists to catch); a large one its full consistent stripe. A key
+	// with BOTH forms is never healthy: one of them is a stale leftover
+	// from a cross-threshold overwrite whose purge did not complete,
+	// and repair must resolve it before the stale form can shadow the
+	// live one.
+	ecOK, ecErr := h.ec.verify(key)
+	repOK, repErr := h.rep.verify(key)
+	ecGone := errors.Is(ecErr, ErrNotFound)
+	repGone := errors.Is(repErr, ErrNotFound)
+	switch {
+	case ecGone && repGone:
+		return false, ErrNotFound
+	case ecGone:
+		return repOK, repErr
+	case repGone:
+		return ecOK, ecErr
+	case ecErr != nil:
+		return false, ecErr
+	case repErr != nil:
+		return false, repErr
+	default:
+		return false, nil // dual representation: needs repair
 	}
-	return ok, err
 }
 
 // repair for the hybrid policy: repair whichever representation
-// exists.
+// exists. When both do — a cross-threshold overwrite whose purge of
+// the old form did not complete — the replicated form wins, because
+// the read path resolves it first: converging on it makes what reads
+// already observe durable, while any other choice would flip the
+// value reads return.
 func (h *hybridStrategy) repair(key string) (RepairReport, error) {
 	repReport, repErr := h.rep.repair(key)
 	if repErr == nil {
+		if err := h.ec.del(key); err != nil && !errors.Is(err, ErrNotFound) {
+			// A stale stripe survives on an unreachable holder: report
+			// the error so the scrubber retries next cycle.
+			return repReport, err
+		}
 		return repReport, nil
 	}
 	ecReport, ecErr := h.ec.repair(key)

@@ -146,6 +146,55 @@ func TestRepairHybrid(t *testing.T) {
 	}
 }
 
+// TestRepairHybridSmallAfterReplicaLoss is a regression test for the
+// hybrid strategy on small (replicated, not erasure-coded) values: a
+// server holding one of the replicas crashes and rejoins empty. The
+// value still reads, Verify must flag it degraded, and Repair must
+// restore the full replica set — previously the hybrid verifier
+// accepted any single live replica, so the scrubber never re-filled
+// the lost copy.
+func TestRepairHybridSmallAfterReplicaLoss(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceHybrid, Replicas: 3, K: 3, M: 2, HybridThreshold: 1024,
+	})
+	value := []byte("small-and-precious")
+	if err := c.Set("small", value); err != nil {
+		t.Fatal(err)
+	}
+	holders := replicaHolders(cl, 5, "small")
+	if len(holders) != 3 {
+		t.Fatalf("value on %d servers, want 3", len(holders))
+	}
+	// Crash a replica holder; it rejoins with an empty store.
+	cl.Kill(holders[0])
+	if err := cl.Restart(holders[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get("small"); err != nil || !bytes.Equal(got, value) {
+		t.Fatalf("degraded read: %q, %v", got, err)
+	}
+	if ok, err := c.Verify("small"); err != nil || ok {
+		t.Fatalf("Verify with lost replica = %v, %v; want false, nil", ok, err)
+	}
+	report, err := c.Repair("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Missing != 1 || report.Rewritten != 1 {
+		t.Fatalf("repair report %+v, want the lost replica rewritten", report)
+	}
+	if got := replicaHolders(cl, 5, "small"); len(got) != 3 {
+		t.Fatalf("%d replicas after repair, want 3", len(got))
+	}
+	if ok, err := c.Verify("small"); err != nil || !ok {
+		t.Fatalf("Verify after repair = %v, %v", ok, err)
+	}
+	if got, err := c.Get("small"); err != nil || !bytes.Equal(got, value) {
+		t.Fatalf("read after repair: %q, %v", got, err)
+	}
+}
+
 func TestIRepair(t *testing.T) {
 	cl := startCluster(t, 5)
 	c := newClient(t, cl, core.Config{

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"ecstore/internal/core"
+)
+
+// TestScanKeysAllModes writes a mixed keyspace in every resilience
+// mode and asserts ScanKeys returns exactly the logical keys once
+// each — erasure chunk suffixes folded, replicas deduplicated across
+// servers.
+func TestScanKeysAllModes(t *testing.T) {
+	for name, cfg := range allModes() {
+		t.Run(name, func(t *testing.T) {
+			cl := startCluster(t, 5)
+			c := newClient(t, cl, cfg)
+			want := map[string]bool{}
+			for i := 0; i < 10; i++ {
+				k := fmt.Sprintf("small-%02d", i)
+				if err := c.Set(k, []byte("tiny")); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = true
+			}
+			for i := 0; i < 5; i++ {
+				k := fmt.Sprintf("large-%02d", i)
+				if err := c.Set(k, bytes.Repeat([]byte("x"), 8000)); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = true
+			}
+			got, err := c.ScanKeys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sort.StringsAreSorted(got) {
+				t.Fatalf("ScanKeys not sorted: %q", got)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("ScanKeys returned %d keys, want %d: %q", len(got), len(want), got)
+			}
+			for _, k := range got {
+				if !want[k] {
+					t.Fatalf("ScanKeys returned unknown key %q", k)
+				}
+			}
+		})
+	}
+}
+
+// TestScanKeysBestEffortWithDownServer kills one server and checks the
+// scan still succeeds over the survivors, missing at most the keys
+// exclusively held by the dead server.
+func TestScanKeysBestEffortWithDownServer(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{
+		Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2,
+	})
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		if err := c.Set(k, bytes.Repeat([]byte("v"), 6000)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	cl.Kill(2)
+	got, err := c.ScanKeys()
+	if err != nil {
+		t.Fatalf("scan with one server down: %v", err)
+	}
+	// Every K+M=5 stripe spans all 5 servers, so the 4 survivors still
+	// hold chunks of every key: nothing may be missing.
+	if len(got) != len(want) {
+		t.Fatalf("scan with one server down returned %d keys, want %d", len(got), len(want))
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unknown key %q", k)
+		}
+	}
+}
+
+// TestScanKeysAllServersDown asserts the scan fails loudly (rather
+// than reporting an empty keyspace) when no server is reachable.
+func TestScanKeysAllServersDown(t *testing.T) {
+	cl := startCluster(t, 3)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceNone})
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cl.Kill(i)
+	}
+	if _, err := c.ScanKeys(); !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("scan with all servers down: %v, want ErrUnavailable", err)
+	}
+}
+
+// TestScanKeysEmptyCluster checks the empty keyspace scans to an
+// empty, non-error result.
+func TestScanKeysEmptyCluster(t *testing.T) {
+	cl := startCluster(t, 3)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceNone})
+	got, err := c.ScanKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty cluster scan returned %q", got)
+	}
+}
+
+// TestScanKeysReflectsDeletes checks deleted keys disappear from the
+// scan across all their chunk/replica holders.
+func TestScanKeysReflectsDeletes(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceHybrid, K: 3, M: 2, Replicas: 3})
+	if err := c.Set("keep", bytes.Repeat([]byte("x"), 8000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("drop", bytes.Repeat([]byte("y"), 8000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("drop"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ScanKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("scan after delete returned %q, want [keep]", got)
+	}
+}

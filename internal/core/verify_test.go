@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"ecstore/internal/cluster"
 	"ecstore/internal/core"
 )
 
@@ -155,13 +156,81 @@ func TestVerifyHybrid(t *testing.T) {
 	}
 }
 
-func TestVerifyUnsupportedMode(t *testing.T) {
+// replicaHolders returns the indices of servers whose store holds key.
+func replicaHolders(cl *cluster.Cluster, n int, key string) []int {
+	var holders []int
+	for i := 0; i < n; i++ {
+		if _, ok := cl.Server(i).Store().Get(key); ok {
+			holders = append(holders, i)
+		}
+	}
+	return holders
+}
+
+func TestVerifyReplicationDetectsLostReplica(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceSyncRep, Replicas: 3})
+	if err := c.Set("k", []byte("replicated")); err != nil {
+		t.Fatal(err)
+	}
+	holders := replicaHolders(cl, 5, "k")
+	if len(holders) != 3 {
+		t.Fatalf("value on %d servers, want 3", len(holders))
+	}
+	if ok, err := c.Verify("k"); err != nil || !ok {
+		t.Fatalf("Verify with all replicas = %v, %v", ok, err)
+	}
+	// One holder loses its copy (a crash-and-restart-empty in
+	// miniature): the key still reads fine, but it is NOT healthy.
+	cl.Server(holders[0]).Store().Delete("k")
+	ok, err := c.Verify("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify passed with a lost replica")
+	}
+	report, err := c.Repair("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Missing != 1 || report.Rewritten != 1 {
+		t.Fatalf("repair report %+v, want the one lost replica rewritten", report)
+	}
+	if ok, err := c.Verify("k"); err != nil || !ok {
+		t.Fatalf("Verify after repair = %v, %v", ok, err)
+	}
+}
+
+func TestVerifyReplicationDetectsDivergedReplica(t *testing.T) {
+	cl := startCluster(t, 5)
+	c := newClient(t, cl, core.Config{Resilience: core.ResilienceSyncRep, Replicas: 3})
+	if err := c.Set("k", []byte("canonical")); err != nil {
+		t.Fatal(err)
+	}
+	holders := replicaHolders(cl, 5, "k")
+	if len(holders) == 0 {
+		t.Fatal("no replica holders")
+	}
+	if err := cl.Server(holders[0]).Store().Set("k", []byte("DIVERGED!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify passed with a diverged replica")
+	}
+}
+
+func TestVerifyReplicationMissingKey(t *testing.T) {
 	cl := startCluster(t, 5)
 	c := newClient(t, cl, core.Config{Resilience: core.ResilienceAsyncRep, Replicas: 3})
-	if _, err := c.Verify("k"); err == nil {
-		t.Fatal("Verify on replication mode succeeded")
+	if _, err := c.Verify("nope"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("rep verify missing key: %v", err)
 	}
-	if _, err := c.Repair("k"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Repair("nope"); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("rep repair missing key: %v", err)
 	}
 }

@@ -1,0 +1,90 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// TestRecoveryHookFires drives a server through the full
+// healthy -> suspect -> recovered cycle and asserts the registered
+// recovery hook is invoked with the server's address — this is the
+// signal the scrubber uses to kick an off-schedule anti-entropy cycle.
+func TestRecoveryHookFires(t *testing.T) {
+	netem := transport.NewNetem(transport.NewInproc(transport.Shape{}))
+	p := NewPool(netem,
+		WithFailureThreshold(3),
+		WithProbeBackoff(10*time.Millisecond, 50*time.Millisecond))
+	defer p.Close()
+
+	var mu sync.Mutex
+	var fired []string
+	p.SetRecoveryHook(func(addr string) {
+		mu.Lock()
+		fired = append(fired, addr)
+		mu.Unlock()
+	})
+
+	// Nothing listens on "flap" yet: trip the failure threshold.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Send("flap", &wire.Request{Op: wire.OpPing, Key: "k"}); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("failure %d: got %v", i, err)
+		}
+	}
+	if !p.Suspect("flap") {
+		t.Fatal("server not suspect after threshold consecutive failures")
+	}
+	mu.Lock()
+	early := len(fired)
+	mu.Unlock()
+	if early != 0 {
+		t.Fatalf("recovery hook fired %d times before any recovery", early)
+	}
+
+	// Bring the server up; a probe heals it and must fire the hook.
+	startEcho(t, netem, "flap")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := p.Roundtrip("flap", &wire.Request{Op: wire.OpPing, Key: "k"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("suspect server never recovered through probes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 || fired[0] != "flap" {
+		t.Fatalf("recovery hook calls = %q, want exactly [flap]", fired)
+	}
+}
+
+// TestRecoveryHookNotCalledWhenUnset is a guard against nil-func
+// panics on the call-completion path.
+func TestRecoveryHookNotCalledWhenUnset(t *testing.T) {
+	netem := transport.NewNetem(transport.NewInproc(transport.Shape{}))
+	p := NewPool(netem,
+		WithFailureThreshold(2),
+		WithProbeBackoff(5*time.Millisecond, 20*time.Millisecond))
+	defer p.Close()
+
+	for i := 0; i < 2; i++ {
+		_, _ = p.Send("ghost", &wire.Request{Op: wire.OpPing, Key: "k"})
+	}
+	startEcho(t, netem, "ghost")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := p.Roundtrip("ghost", &wire.Request{Op: wire.OpPing, Key: "k"}); err == nil {
+			return // recovered without a hook — no panic is the assertion
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -185,10 +185,11 @@ type Pool struct {
 	gSuspect     *metrics.Gauge
 	hCallSeconds *stats.Histogram
 
-	mu     sync.Mutex
-	conns  map[string]*muxConn
-	health map[string]*health
-	closed bool
+	mu         sync.Mutex
+	conns      map[string]*muxConn
+	health     map[string]*health
+	onRecovery func(addr string)
+	closed     bool
 }
 
 // NewPool returns a Pool dialing through network.
@@ -284,6 +285,19 @@ func (p *Pool) RoundtripTimeout(addr string, req *wire.Request, timeout time.Dur
 	return resp, resp.Err()
 }
 
+// SetRecoveryHook registers fn to be called whenever a server leaves
+// the suspect state (a probe of a previously failing server succeeded).
+// The anti-entropy scrubber uses it to kick a repair cycle the moment a
+// crashed-and-restarted server rejoins, instead of waiting out the
+// periodic interval. fn runs on the call-completion path and must not
+// block; hand off to a channel or goroutine for real work. A nil fn
+// clears the hook.
+func (p *Pool) SetRecoveryHook(fn func(addr string)) {
+	p.mu.Lock()
+	p.onRecovery = fn
+	p.mu.Unlock()
+}
+
 // Suspect reports whether addr is currently in the suspect state.
 // Placement and failover code uses it to deprioritize known-bad
 // servers without issuing a request.
@@ -324,6 +338,12 @@ func (p *Pool) observe(addr string, err error) {
 	if recovered {
 		p.mRecoveries.Inc()
 		p.gSuspect.Add(-1)
+		p.mu.Lock()
+		hook := p.onRecovery
+		p.mu.Unlock()
+		if hook != nil {
+			hook(addr)
+		}
 	}
 	if toSuspect {
 		p.mToSuspect.Inc()

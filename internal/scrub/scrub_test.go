@@ -1,0 +1,448 @@
+package scrub_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+	"ecstore/internal/metrics"
+	"ecstore/internal/scrub"
+)
+
+// stubClient scripts the daemon's three dependencies so control-flow
+// paths (fallbacks, error accounting) are testable without a cluster.
+type stubClient struct {
+	mu      sync.Mutex
+	keys    []string
+	scanErr error
+	verify  func(key string) (bool, error)
+	repair  func(key string) (core.RepairReport, error)
+
+	verified []string
+	repaired []string
+
+	recoveredFn func(addr string)
+}
+
+func (s *stubClient) ScanKeys() ([]string, error) {
+	if s.scanErr != nil {
+		return nil, s.scanErr
+	}
+	return append([]string(nil), s.keys...), nil
+}
+
+func (s *stubClient) Verify(key string) (bool, error) {
+	s.mu.Lock()
+	s.verified = append(s.verified, key)
+	s.mu.Unlock()
+	if s.verify == nil {
+		return true, nil
+	}
+	return s.verify(key)
+}
+
+func (s *stubClient) Repair(key string) (core.RepairReport, error) {
+	s.mu.Lock()
+	s.repaired = append(s.repaired, key)
+	s.mu.Unlock()
+	if s.repair == nil {
+		return core.RepairReport{}, nil
+	}
+	return s.repair(key)
+}
+
+func (s *stubClient) OnServerRecovered(fn func(addr string)) { s.recoveredFn = fn }
+
+func newDaemon(t *testing.T, cfg scrub.Config) *scrub.Daemon {
+	t.Helper()
+	d, err := scrub.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewRequiresClient(t *testing.T) {
+	if _, err := scrub.New(scrub.Config{}); err == nil {
+		t.Fatal("New accepted a nil client")
+	}
+}
+
+func TestRunCycleScanError(t *testing.T) {
+	boom := errors.New("cluster unreachable")
+	reg := metrics.NewRegistry()
+	d := newDaemon(t, scrub.Config{Client: &stubClient{scanErr: boom}, Rate: -1, Metrics: reg})
+	report := d.RunCycle(nil)
+	if !errors.Is(report.Err, boom) || report.Scanned != 0 {
+		t.Fatalf("report %+v", report)
+	}
+	if got := reg.Counter("ecstore_scrub_cycles_total").Value(); got != 1 {
+		t.Fatalf("cycles counter = %d", got)
+	}
+	if !strings.Contains(report.String(), "error") {
+		t.Fatalf("report string %q hides the error", report)
+	}
+}
+
+func TestRunCycleAllHealthy(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := &stubClient{keys: []string{"a", "b", "c"}}
+	d := newDaemon(t, scrub.Config{Client: c, Rate: -1, Metrics: reg})
+	report := d.RunCycle(nil)
+	if report.Scanned != 3 || report.Healthy != 3 || report.Repaired != 0 || report.Failed != 0 {
+		t.Fatalf("report %+v", report)
+	}
+	if len(c.repaired) != 0 {
+		t.Fatalf("healthy keys were repaired: %q", c.repaired)
+	}
+	if got := reg.Counter("ecstore_scrub_keys_healthy_total").Value(); got != 3 {
+		t.Fatalf("healthy counter = %d", got)
+	}
+}
+
+// TestScrubKeyOutcomes drives every verify/repair branch of scrubKey
+// through RunCycle with a single scripted key.
+func TestScrubKeyOutcomes(t *testing.T) {
+	notFound := core.ErrNotFound
+	unsupported := errors.New("core: resilience mode 2 does not support verify")
+	for name, tc := range map[string]struct {
+		verify  func(string) (bool, error)
+		repair  func(string) (core.RepairReport, error)
+		want    scrub.Report
+		repairs int
+	}{
+		"verify-healthy": {
+			verify: func(string) (bool, error) { return true, nil },
+			want:   scrub.Report{Scanned: 1, Healthy: 1},
+		},
+		"deleted-between-scan-and-verify": {
+			verify: func(string) (bool, error) { return false, notFound },
+			want:   scrub.Report{Scanned: 1, Healthy: 1},
+		},
+		"degraded-then-repaired": {
+			verify: func(string) (bool, error) { return false, nil },
+			repair: func(string) (core.RepairReport, error) {
+				return core.RepairReport{Checked: 5, Missing: 2, Rewritten: 2}, nil
+			},
+			want:    scrub.Report{Scanned: 1, Repaired: 1, Rewritten: 2},
+			repairs: 1,
+		},
+		"verify-unsupported-falls-back-to-repair": {
+			verify: func(string) (bool, error) { return false, unsupported },
+			repair: func(string) (core.RepairReport, error) {
+				return core.RepairReport{Checked: 3, Missing: 1, Rewritten: 1}, nil
+			},
+			want:    scrub.Report{Scanned: 1, Repaired: 1, Rewritten: 1},
+			repairs: 1,
+		},
+		"verify-pessimistic-but-probe-healthy": {
+			verify: func(string) (bool, error) { return false, nil },
+			repair: func(string) (core.RepairReport, error) {
+				return core.RepairReport{Checked: 5}, nil
+			},
+			want:    scrub.Report{Scanned: 1, Healthy: 1},
+			repairs: 1,
+		},
+		"deleted-between-verify-and-repair": {
+			verify: func(string) (bool, error) { return false, nil },
+			repair: func(string) (core.RepairReport, error) {
+				return core.RepairReport{}, notFound
+			},
+			want:    scrub.Report{Scanned: 1, Healthy: 1},
+			repairs: 1,
+		},
+		"repair-error": {
+			verify: func(string) (bool, error) { return false, nil },
+			repair: func(string) (core.RepairReport, error) {
+				return core.RepairReport{}, core.ErrUnavailable
+			},
+			want:    scrub.Report{Scanned: 1, Failed: 1},
+			repairs: 1,
+		},
+		"partial-repair-counts-work-and-fails": {
+			verify: func(string) (bool, error) { return false, nil },
+			repair: func(string) (core.RepairReport, error) {
+				return core.RepairReport{Checked: 5, Missing: 3, Rewritten: 1}, nil
+			},
+			want:    scrub.Report{Scanned: 1, Repaired: 1, Rewritten: 1, Failed: 1},
+			repairs: 1,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := &stubClient{keys: []string{"k"}, verify: tc.verify, repair: tc.repair}
+			d := newDaemon(t, scrub.Config{Client: c, Rate: -1})
+			got := d.RunCycle(nil)
+			got.Duration = 0
+			if got != tc.want {
+				t.Fatalf("report %+v, want %+v", got, tc.want)
+			}
+			if len(c.repaired) != tc.repairs {
+				t.Fatalf("repair called %d times, want %d", len(c.repaired), tc.repairs)
+			}
+		})
+	}
+}
+
+func TestRatePacing(t *testing.T) {
+	c := &stubClient{keys: []string{"a", "b", "c", "d", "e", "f"}}
+	// 100 keys/sec: the 5 inter-key gaps after the first key are due at
+	// 10ms spacing, so the cycle cannot complete in under ~50ms.
+	d := newDaemon(t, scrub.Config{Client: c, Rate: 100})
+	report := d.RunCycle(nil)
+	if report.Scanned != 6 {
+		t.Fatalf("report %+v", report)
+	}
+	if report.Duration < 40*time.Millisecond {
+		t.Fatalf("rate-limited cycle finished in %v, want >= ~50ms", report.Duration)
+	}
+
+	// Unthrottled, the same keyspace is effectively instant.
+	d = newDaemon(t, scrub.Config{Client: c, Rate: -1})
+	if r := d.RunCycle(nil); r.Duration > 5*time.Second {
+		t.Fatalf("unthrottled cycle took %v", r.Duration)
+	}
+}
+
+func TestRunCycleCancel(t *testing.T) {
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%04d", i)
+	}
+	c := &stubClient{keys: keys}
+	d := newDaemon(t, scrub.Config{Client: c, Rate: 50}) // 20ms per key
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(cancel)
+	}()
+	report := d.RunCycle(cancel)
+	if report.Scanned >= len(keys) {
+		t.Fatalf("cancelled cycle scanned all %d keys", report.Scanned)
+	}
+	// Everything it did scan was fully processed (no leaked goroutines
+	// past the barrier): scanned keys were all verified.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.verified) != report.Scanned {
+		t.Fatalf("scanned %d but verified %d", report.Scanned, len(c.verified))
+	}
+}
+
+func TestDaemonKickAndRestart(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reports := make(chan scrub.Report, 16)
+	c := &stubClient{keys: []string{"a", "b"}}
+	d := newDaemon(t, scrub.Config{
+		Client:   c,
+		Interval: -1, // no periodic timer: only kicks run cycles
+		Rate:     -1,
+		Metrics:  reg,
+		OnCycle:  func(r scrub.Report) { reports <- r },
+		Logf:     t.Logf,
+	})
+
+	// The stub implements OnServerRecovered, so New must have wired the
+	// recovery hook to Kick.
+	if c.recoveredFn == nil {
+		t.Fatal("recovery hook not registered on a recoverable client")
+	}
+
+	d.Start()
+	d.Start() // no-op on a running daemon
+	d.Kick()
+	select {
+	case r := <-reports:
+		if r.Scanned != 2 || r.Healthy != 2 {
+			t.Fatalf("kicked cycle report %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("kicked cycle never completed")
+	}
+
+	// A server-recovered event also triggers a cycle.
+	c.recoveredFn("srv-3")
+	select {
+	case <-reports:
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovery-kicked cycle never completed")
+	}
+
+	d.Stop()
+	d.Stop() // no-op on a stopped daemon
+	if got := reg.Counter("ecstore_scrub_kicks_total").Value(); got < 2 {
+		t.Fatalf("kicks counter = %d, want >= 2", got)
+	}
+
+	// A stopped daemon is restartable.
+	d.Start()
+	d.Kick()
+	select {
+	case <-reports:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cycle after restart never completed")
+	}
+	d.Stop()
+}
+
+func TestDaemonPeriodicInterval(t *testing.T) {
+	reports := make(chan scrub.Report, 16)
+	c := &stubClient{keys: []string{"a"}}
+	d := newDaemon(t, scrub.Config{
+		Client:   c,
+		Interval: 20 * time.Millisecond,
+		Rate:     -1,
+		OnCycle:  func(r scrub.Report) { reports <- r },
+	})
+	d.Start()
+	defer d.Stop()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-reports:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("periodic cycle %d never fired", i)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := scrub.Report{Scanned: 10, Healthy: 8, Repaired: 1, Rewritten: 3, Failed: 1, Duration: 1500 * time.Millisecond}
+	s := r.String()
+	for _, want := range []string{"scanned=10", "healthy=8", "repaired=1", "rewritten=3", "failed=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+// TestScrubConvergesCluster is the end-to-end check on a real cluster:
+// a server crashes and rejoins empty, and one scrub cycle restores
+// full redundancy for every key — erasure-coded large values and
+// replicated small ones alike.
+func TestScrubConvergesCluster(t *testing.T) {
+	cl, err := cluster.Start(cluster.Config{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	c, err := core.New(core.Config{
+		Network:    cl.Network(),
+		Servers:    cl.Addrs(),
+		Resilience: core.ResilienceHybrid,
+		Replicas:   3, K: 3, M: 2, HybridThreshold: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	values := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		small := fmt.Sprintf("small-%d", i)
+		large := fmt.Sprintf("large-%d", i)
+		values[small] = []byte(fmt.Sprintf("tiny-%d", i))
+		values[large] = bytes.Repeat([]byte{byte('A' + i)}, 6000)
+	}
+	for k, v := range values {
+		if err := c.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cl.Kill(1)
+	if err := cl.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	d := newDaemon(t, scrub.Config{Client: c, Rate: -1, Metrics: reg, Logf: t.Logf})
+	report := d.RunCycle(nil)
+	if report.Err != nil || report.Scanned != len(values) || report.Failed != 0 {
+		t.Fatalf("scrub cycle: %s", report)
+	}
+	if report.Repaired == 0 || report.Rewritten == 0 {
+		t.Fatalf("scrub repaired nothing after a server lost its data: %s", report)
+	}
+
+	// Converged: a second cycle finds a fully healthy keyspace…
+	second := d.RunCycle(nil)
+	if second.Healthy != len(values) || second.Repaired != 0 || second.Failed != 0 {
+		t.Fatalf("second cycle not clean: %s", second)
+	}
+	// …every key verifies, and every value reads back byte-identical.
+	for k, v := range values {
+		if ok, err := c.Verify(k); err != nil || !ok {
+			t.Fatalf("Verify(%s) after scrub = %v, %v", k, ok, err)
+		}
+		got, err := c.Get(k)
+		if err != nil || !bytes.Equal(got, v) {
+			t.Fatalf("Get(%s) after scrub: %d bytes, %v", k, len(got), err)
+		}
+	}
+	if got := reg.Counter("ecstore_scrub_cycles_total").Value(); got != 2 {
+		t.Fatalf("cycles counter = %d", got)
+	}
+}
+
+// BenchmarkScrubRecoveryCycle measures the recovery time EXPERIMENTS.md
+// reports: a 5-server hybrid cluster where one server has crashed and
+// rejoined empty, re-filled by a single unthrottled scrub cycle. Each
+// iteration kills a different server so every cycle has real repair
+// work (~1/5 of all chunks and replicas).
+func BenchmarkScrubRecoveryCycle(b *testing.B) {
+	cl, err := cluster.Start(cluster.Config{N: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	c, err := core.New(core.Config{
+		Network:    cl.Network(),
+		Servers:    cl.Addrs(),
+		Resilience: core.ResilienceHybrid,
+		Replicas:   3, K: 3, M: 2, HybridThreshold: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		var v []byte
+		if i%2 == 0 {
+			v = bytes.Repeat([]byte{byte(i)}, 16<<10) // EC stripe
+		} else {
+			v = bytes.Repeat([]byte{byte(i)}, 128) // replicated
+		}
+		if err := c.Set(fmt.Sprintf("bench-%03d", i), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := scrub.New(scrub.Config{Client: c, Rate: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var repaired, rewritten int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		victim := i % 5
+		cl.Kill(victim)
+		if err := cl.Restart(victim); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		report := d.RunCycle(nil)
+		if report.Err != nil || report.Failed != 0 {
+			b.Fatalf("cycle: %s", report)
+		}
+		repaired += report.Repaired
+		rewritten += report.Rewritten
+	}
+	b.ReportMetric(float64(repaired)/float64(b.N), "keys-repaired/cycle")
+	b.ReportMetric(float64(rewritten)/float64(b.N), "rewrites/cycle")
+}

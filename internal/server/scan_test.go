@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"ecstore/internal/wire"
+)
+
+// scanServer pages through one server's keyspace over the wire,
+// asserting every page respects the requested limit.
+func scanServer(t *testing.T, pool interface {
+	Roundtrip(string, *wire.Request) (*wire.Response, error)
+}, addr string, limit int) []string {
+	t.Helper()
+	var keys []string
+	var cursor []byte
+	for pages := 0; ; pages++ {
+		if pages > 10000 {
+			t.Fatal("scan does not terminate")
+		}
+		resp, err := pool.Roundtrip(addr, &wire.Request{
+			Op: wire.OpScan, Key: "scan", Value: cursor,
+			Meta: wire.ECMeta{TotalLen: uint32(limit)},
+		})
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		page, err := wire.DecodeScanPage(resp.Value)
+		if err != nil {
+			t.Fatalf("decode page: %v", err)
+		}
+		if limit > 0 && len(page.Keys) > limit {
+			t.Fatalf("page of %d keys exceeds limit %d", len(page.Keys), limit)
+		}
+		keys = append(keys, page.Keys...)
+		if len(page.Next) == 0 {
+			return keys
+		}
+		cursor = page.Next
+	}
+}
+
+func TestScanPagination(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	addr := servers[0].Addr()
+	want := map[string]bool{}
+	for i := 0; i < 137; i++ {
+		k := fmt.Sprintf("scan-key-%03d", i)
+		if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpSet, Key: k, Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	for _, limit := range []int{1, 3, 50, 1000} {
+		got := scanServer(t, pool, addr, limit)
+		if len(got) != len(want) {
+			t.Fatalf("limit %d: scan returned %d keys, want %d", limit, len(got), len(want))
+		}
+		seen := map[string]bool{}
+		for _, k := range got {
+			if seen[k] {
+				t.Fatalf("limit %d: duplicate key %q", limit, k)
+			}
+			seen[k] = true
+			if !want[k] {
+				t.Fatalf("limit %d: unknown key %q", limit, k)
+			}
+		}
+	}
+}
+
+func TestScanEmptyStore(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	if got := scanServer(t, pool, servers[0].Addr(), 10); len(got) != 0 {
+		t.Fatalf("empty store scan returned %q", got)
+	}
+}
+
+func TestScanDefaultAndClampedLimit(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	addr := servers[0].Addr()
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Roundtrip(addr, &wire.Request{Op: wire.OpSet, Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Limit 0 falls back to the default; an absurd limit is clamped —
+	// both still return the whole keyspace.
+	if got := scanServer(t, pool, addr, 0); len(got) != 10 {
+		t.Fatalf("default-limit scan returned %d keys", len(got))
+	}
+	if got := scanServer(t, pool, addr, 1<<20); len(got) != 10 {
+		t.Fatalf("clamped-limit scan returned %d keys", len(got))
+	}
+}
+
+func TestScanMalformedCursor(t *testing.T) {
+	servers, pool := startServers(t, 1, 0)
+	resp, err := pool.Roundtrip(servers[0].Addr(), &wire.Request{
+		Op: wire.OpScan, Key: "scan", Value: []byte{1, 2, 3},
+	})
+	if err == nil {
+		t.Fatalf("malformed cursor accepted: %+v", resp)
+	}
+}

@@ -167,7 +167,7 @@ func New(cfg Config) (*Server, error) {
 	s.mOps = make(map[wire.Op]*metrics.Counter)
 	for _, op := range []wire.Op{
 		wire.OpSet, wire.OpGet, wire.OpDelete, wire.OpSetChunk, wire.OpGetChunk,
-		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing,
+		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing, wire.OpScan,
 	} {
 		s.mOps[op] = reg.Counter(fmt.Sprintf("ecstore_server_ops_total{op=%q}", op))
 	}
@@ -347,6 +347,8 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 			return &wire.Response{Status: wire.StatusNotFound}
 		}
 		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpScan:
+		return s.handleScan(req)
 	case wire.OpEncodeSet:
 		return s.handleEncodeSet(req)
 	case wire.OpDecodeGet:
@@ -366,4 +368,40 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 	default:
 		return &wire.Response{Status: wire.StatusError, Value: []byte("unknown op")}
 	}
+}
+
+// handleScan serves one page of the keyspace: it resumes at the
+// request's cursor, walks shards in order (releasing each shard's lock
+// between pages — the store's ScanShard contract), and returns the
+// keys plus the next cursor. An empty next cursor means the scan is
+// complete.
+func (s *Server) handleScan(req *wire.Request) *wire.Response {
+	cur, err := wire.DecodeScanCursor(req.Value)
+	if err != nil {
+		return errorResponse(err)
+	}
+	limit := int(req.Meta.TotalLen)
+	if limit <= 0 {
+		limit = wire.DefaultScanLimit
+	}
+	if limit > wire.MaxScanLimit {
+		limit = wire.MaxScanLimit
+	}
+	shard, after := int(cur.Shard), cur.After
+	keys := make([]string, 0, limit)
+	for shard < s.store.Shards() && len(keys) < limit {
+		page := s.store.ScanShard(shard, after, limit-len(keys))
+		keys = append(keys, page...)
+		if len(keys) < limit {
+			// Shard exhausted: move to the next one from its start.
+			shard, after = shard+1, ""
+			continue
+		}
+		after = keys[len(keys)-1]
+	}
+	out := wire.ScanPage{Keys: keys}
+	if shard < s.store.Shards() {
+		out.Next = wire.EncodeScanCursor(wire.ScanCursor{Shard: uint32(shard), After: after})
+	}
+	return &wire.Response{Status: wire.StatusOK, Value: wire.EncodeScanPage(out)}
 }

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scanAll drives the paged per-shard API the way the server's OpScan
+// handler does: shard by shard, page by page, releasing the shard lock
+// between pages.
+func scanAll(s *Store, pageSize int, betweenPages func()) []string {
+	var out []string
+	for si := 0; si < s.Shards(); si++ {
+		after := ""
+		for {
+			page := s.ScanShard(si, after, pageSize)
+			out = append(out, page...)
+			if betweenPages != nil {
+				betweenPages()
+			}
+			if len(page) < pageSize {
+				break
+			}
+			after = page[len(page)-1]
+		}
+	}
+	return out
+}
+
+func TestScanShardReturnsAllKeys(t *testing.T) {
+	s := New(Config{Shards: 4})
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if err := s.Set(k, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = true
+	}
+	got := scanAll(s, 7, nil)
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("scan returned unknown key %q", k)
+		}
+		delete(want, k) // also catches duplicates
+	}
+}
+
+func TestScanShardOrderAndCursor(t *testing.T) {
+	s := New(Config{Shards: 1})
+	for i := 0; i < 50; i++ {
+		if err := s.Set(fmt.Sprintf("k%02d", i), []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page1 := s.ScanShard(0, "", 10)
+	if len(page1) != 10 || !sort.StringsAreSorted(page1) {
+		t.Fatalf("page1 %q not a sorted 10-key page", page1)
+	}
+	page2 := s.ScanShard(0, page1[len(page1)-1], 10)
+	if len(page2) != 10 || page2[0] <= page1[len(page1)-1] {
+		t.Fatalf("page2 %q does not resume strictly after cursor %q", page2, page1[len(page1)-1])
+	}
+}
+
+func TestScanShardBounds(t *testing.T) {
+	s := New(Config{Shards: 2})
+	if err := s.Set("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ScanShard(-1, "", 10); got != nil {
+		t.Fatalf("negative shard returned %q", got)
+	}
+	if got := s.ScanShard(s.Shards(), "", 10); got != nil {
+		t.Fatalf("out-of-range shard returned %q", got)
+	}
+	if got := s.ScanShard(0, "", 0); got != nil {
+		t.Fatalf("zero limit returned %q", got)
+	}
+}
+
+func TestScanShardSkipsExpired(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	s := New(Config{Shards: 1, Now: func() time.Time { return clock() }})
+	if err := s.Set("immortal", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("mayfly", []byte("v"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(s, 10, nil); len(got) != 2 {
+		t.Fatalf("before expiry: %q", got)
+	}
+	later := now.Add(2 * time.Second)
+	clock = func() time.Time { return later }
+	got := scanAll(s, 10, nil)
+	if len(got) != 1 || got[0] != "immortal" {
+		t.Fatalf("after expiry: %q", got)
+	}
+}
+
+// TestScanUnderConcurrentMutation is the store-iteration stability
+// test: a paged scan runs while writers Set fresh keys, Delete old
+// ones, and LRU eviction churns the tail. The scan must terminate
+// (no deadlock against the shard locks) and must return every key that
+// existed for the whole scan — here, the pre-populated pinned keys
+// that were never deleted and (checked afterwards) never evicted.
+// Churn keys are monotonically named and never reused, so none of them
+// can masquerade as having existed throughout.
+func TestScanUnderConcurrentMutation(t *testing.T) {
+	const (
+		pinned     = 120
+		writers    = 4
+		valueBytes = 256
+	)
+	// A budget small enough that churn forces evictions, large enough
+	// that the pinned working set usually survives in most shards.
+	s := New(Config{Shards: 8, MaxBytes: 512 << 10})
+	for i := 0; i < pinned; i++ {
+		if err := s.Set(fmt.Sprintf("pinned-%04d", i), make([]byte, valueBytes), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			val := make([]byte, valueBytes)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("churn-%d-%06d", w, i)
+				_ = s.Set(k, val, 0)
+				if i > 10 && rng.Intn(2) == 0 {
+					s.Delete(fmt.Sprintf("churn-%d-%06d", w, i-rng.Intn(10)-1))
+				}
+			}
+		}(w)
+	}
+
+	// Slow, small-paged scan so mutation interleaves with many pages.
+	seen := map[string]int{}
+	for _, k := range scanAll(s, 5, func() { time.Sleep(50 * time.Microsecond) }) {
+		seen[k]++
+	}
+	close(stop)
+	wg.Wait()
+
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("key %q returned %d times in one scan", k, n)
+		}
+	}
+	missed := 0
+	for i := 0; i < pinned; i++ {
+		k := fmt.Sprintf("pinned-%04d", i)
+		if _, ok := s.Get(k); !ok {
+			continue // evicted at some point: did not exist for the whole scan
+		}
+		if seen[k] == 0 {
+			missed++
+			t.Errorf("pinned key %q survived the whole scan but was not returned", k)
+		}
+	}
+	t.Logf("scan saw %d keys; %d pinned misses; stats %+v", len(seen), missed, s.Stats())
+}

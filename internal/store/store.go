@@ -10,6 +10,7 @@ import (
 	"container/list"
 	"errors"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -237,6 +238,48 @@ func (s *Store) Delete(key string) bool {
 	sh.removeLocked(el, el.Value.(*entry))
 	sh.stats.Deletes++
 	return true
+}
+
+// Shards returns the number of shards, the coarse unit of the paged
+// scan API.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ScanShard returns up to limit live (non-expired) keys of shard si in
+// lexicographic order, strictly after `after` (empty to start). The
+// shard lock is held only while the key set is gathered — never across
+// pages and never during the sort — so a long scan cannot starve
+// concurrent Set/Get/Delete traffic.
+//
+// The sorted-order cursor gives the scan its stability guarantee
+// without snapshots: a key that exists for the whole scan is always
+// returned exactly once, because its position in the ordering is
+// fixed and the cursor sweeps every position. Keys inserted or removed
+// mid-scan may or may not appear, which is the usual anti-entropy
+// contract (they will be seen by the next cycle).
+func (s *Store) ScanShard(si int, after string, limit int) []string {
+	if si < 0 || si >= len(s.shards) || limit <= 0 {
+		return nil
+	}
+	sh := s.shards[si]
+	sh.mu.Lock()
+	now := sh.now()
+	keys := make([]string, 0, len(sh.items))
+	for k, el := range sh.items {
+		if k <= after {
+			continue
+		}
+		e := el.Value.(*entry)
+		if !e.expiresAt.IsZero() && !now.Before(e.expiresAt) {
+			continue // lazily expired: invisible to readers already
+		}
+		keys = append(keys, k)
+	}
+	sh.mu.Unlock()
+	sort.Strings(keys)
+	if len(keys) > limit {
+		keys = keys[:limit]
+	}
+	return keys
 }
 
 // Len returns the number of stored items (including not-yet-expired).

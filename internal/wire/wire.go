@@ -41,6 +41,12 @@ const (
 	OpStats
 	// OpPing is a liveness check.
 	OpPing
+	// OpScan returns one page of the server's keyspace: the request
+	// value carries an opaque cursor (empty to start), Meta.TotalLen
+	// carries the page-size limit, and the response value is a ScanPage
+	// with the keys and the next cursor. The anti-entropy scrubber is
+	// built on this.
+	OpScan
 )
 
 var opNames = map[Op]string{
@@ -53,6 +59,7 @@ var opNames = map[Op]string{
 	OpDecodeGet: "decode-get",
 	OpStats:     "stats",
 	OpPing:      "ping",
+	OpScan:      "scan",
 }
 
 // String returns the opcode mnemonic.
