@@ -38,6 +38,7 @@ func run() error {
 	workers := flag.Int("workers", server.DefaultWorkers, "worker pool size")
 	noEvict := flag.Bool("no-evict", false, "fail writes when full instead of evicting LRU items")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at http://<addr>/metrics (empty = disabled)")
+	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof profiles under http://<metrics-addr>/debug/pprof/")
 	flag.Parse()
 
 	peerList := []string{*addr}
@@ -60,13 +61,22 @@ func run() error {
 	}
 	log.Printf("kvserver listening on %s (peers: %v, workers: %d)", srv.Addr(), peerList, *workers)
 	if *metricsAddr != "" {
-		closeMetrics, err := metrics.Serve(*metricsAddr, srv.Metrics())
+		var opts []metrics.ServeOption
+		if *pprofOn {
+			opts = append(opts, metrics.WithPprof())
+		}
+		closeMetrics, err := metrics.Serve(*metricsAddr, srv.Metrics(), opts...)
 		if err != nil {
 			srv.Close()
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer closeMetrics()
 		log.Printf("kvserver metrics at http://%s/metrics", *metricsAddr)
+		if *pprofOn {
+			log.Printf("kvserver pprof at http://%s/debug/pprof/", *metricsAddr)
+		}
+	} else if *pprofOn {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 
 	sig := make(chan os.Signal, 1)

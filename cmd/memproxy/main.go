@@ -43,6 +43,7 @@ func run() error {
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
 	metricsAddr := flag.String("metrics-addr", "", "serve proxy-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
+	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof profiles under http://<metrics-addr>/debug/pprof/")
 	scrubInterval := flag.Duration("scrub-interval", 0, "run the anti-entropy scrubber at this period (0 = disabled)")
 	scrubRate := flag.Float64("scrub-rate", 0, "scrub keyspace walk rate in keys/sec (0 = default 1000, negative disables throttling)")
 	scrubConcurrency := flag.Int("scrub-concurrency", 0, "max concurrent scrub repairs (0 = default 4)")
@@ -70,12 +71,21 @@ func run() error {
 	}
 	defer client.Close()
 	if *metricsAddr != "" {
-		closeMetrics, err := metrics.Serve(*metricsAddr, client.Metrics())
+		var opts []metrics.ServeOption
+		if *pprofOn {
+			opts = append(opts, metrics.WithPprof())
+		}
+		closeMetrics, err := metrics.Serve(*metricsAddr, client.Metrics(), opts...)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer closeMetrics()
 		log.Printf("memproxy metrics at http://%s/metrics", *metricsAddr)
+		if *pprofOn {
+			log.Printf("memproxy pprof at http://%s/debug/pprof/", *metricsAddr)
+		}
+	} else if *pprofOn {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 
 	if *scrubInterval > 0 {

@@ -1,0 +1,140 @@
+// Package bufpool provides the process-wide, size-classed, sync.Pool
+// backed buffer allocator shared by the codec and the wire path — the
+// analog of the paper's ARPE "pre-registered buffer pool". Encoding a
+// 1 MB value with RS(3,2) needs five ~350 KB shard buffers per Set, and
+// framing the resulting chunk writes needs comparable transmit and
+// receive buffers; allocating them per operation makes the garbage
+// collector the bottleneck at high op rates. The pool recycles buffers
+// between operations instead.
+//
+// Buffers are grouped in power-of-two size classes from 512 B to 4 MB;
+// smaller requests draw from the 512 B class and larger ones fall
+// through to plain make (and are never retained). A Pool is safe for
+// concurrent use; the zero value is NOT usable — call New (or use
+// Default).
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the size-classed buffer allocator.
+type Pool struct {
+	classes [poolClasses]sync.Pool // pooled buffers, by size class
+	entries sync.Pool              // recycled *poolEntry wrappers
+
+	// Stats counters (atomic). Hits counts Gets served from the pool;
+	// misses counts Gets that had to allocate.
+	gets, hits, puts uint64
+}
+
+const (
+	minPoolShift = 9  // smallest pooled class: 512 B
+	maxPoolShift = 22 // largest pooled class: 4 MB
+	poolClasses  = maxPoolShift - minPoolShift + 1
+)
+
+// poolEntry boxes a buffer for sync.Pool storage. Wrappers are
+// themselves recycled through Pool.entries so that steady-state
+// Get/Put cycles allocate nothing at all.
+type poolEntry struct{ buf []byte }
+
+// New returns an empty pool.
+func New() *Pool { return &Pool{} }
+
+// Default is the process-wide pool: the erasure codec draws shard and
+// reconstruction buffers from it, and the rpc/server wire paths lease
+// frame buffers from it, so a buffer freed by one layer is immediately
+// reusable by another.
+var Default = New()
+
+// classFor returns the size-class index whose buffers hold n bytes, or
+// -1 when n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxPoolShift {
+		return -1
+	}
+	shift := minPoolShift
+	for 1<<shift < n {
+		shift++
+	}
+	return shift - minPoolShift
+}
+
+// classForCap returns the class index whose buffer capacity is exactly
+// c, or -1. The exact-match requirement keeps foreign buffers (network
+// payload sub-slices, odd-sized allocations) out of the pool.
+func classForCap(c int) int {
+	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
+		return -1
+	}
+	shift := 0
+	for 1<<shift < c {
+		shift++
+	}
+	return shift - minPoolShift
+}
+
+// Get returns a zeroed buffer of length n. The buffer comes from the
+// pool when a suitably sized one is available; hand it back with Put
+// when done.
+func (p *Pool) Get(n int) []byte {
+	b := p.GetRaw(n)
+	clear(b)
+	return b
+}
+
+// GetRaw is Get without the zeroing guarantee: the returned buffer may
+// hold bytes from a previous use. Callers must overwrite every byte
+// (or zero the part they do not write).
+func (p *Pool) GetRaw(n int) []byte {
+	atomic.AddUint64(&p.gets, 1)
+	cls := classFor(n)
+	if cls < 0 {
+		return make([]byte, n)
+	}
+	if e, _ := p.classes[cls].Get().(*poolEntry); e != nil {
+		b := e.buf
+		e.buf = nil
+		p.entries.Put(e)
+		atomic.AddUint64(&p.hits, 1)
+		return b[:n]
+	}
+	return make([]byte, n, 1<<(cls+minPoolShift))
+}
+
+// Put returns a buffer to the pool. Only buffers whose capacity exactly
+// matches a size class are retained (buffers from Get always do);
+// anything else — including nil — is silently dropped for the garbage
+// collector. The caller must not use b after Put.
+func (p *Pool) Put(b []byte) {
+	cls := classForCap(cap(b))
+	if cls < 0 {
+		return
+	}
+	atomic.AddUint64(&p.puts, 1)
+	e, _ := p.entries.Get().(*poolEntry)
+	if e == nil {
+		e = new(poolEntry)
+	}
+	e.buf = b[:cap(b)]
+	p.classes[cls].Put(e)
+}
+
+// Stats is a snapshot of pool activity, exposed for tests and
+// observability.
+type Stats struct {
+	Gets uint64 // total Get/GetRaw calls
+	Hits uint64 // Gets served by recycling a pooled buffer
+	Puts uint64 // buffers accepted back into the pool
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets: atomic.LoadUint64(&p.gets),
+		Hits: atomic.LoadUint64(&p.hits),
+		Puts: atomic.LoadUint64(&p.puts),
+	}
+}

@@ -1,0 +1,96 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassBoundaries(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 512}, {512, 512}, {513, 1024},
+		{4096, 4096}, {4097, 8192},
+		{4 << 20, 4 << 20},
+	}
+	p := New()
+	for _, c := range cases {
+		b := p.GetRaw(c.n)
+		if len(b) != c.n || cap(b) != c.wantCap {
+			t.Errorf("GetRaw(%d): len=%d cap=%d, want len=%d cap=%d",
+				c.n, len(b), cap(b), c.n, c.wantCap)
+		}
+		p.Put(b)
+	}
+}
+
+func TestGetZeroesRecycledBuffer(t *testing.T) {
+	p := New()
+	b := p.GetRaw(1000)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	p.Put(b)
+	b = p.Get(1000)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("Get returned dirty byte %#x at %d", v, i)
+		}
+	}
+}
+
+func TestReuseAndStats(t *testing.T) {
+	p := New()
+	b := p.GetRaw(700) // 1024-byte class
+	p.Put(b)
+	if got := p.GetRaw(900); cap(got) != 1024 {
+		t.Fatalf("recycled buffer cap = %d, want 1024", cap(got))
+	}
+	// Hits is not asserted exactly: under -race, sync.Pool drops
+	// entries on purpose, so the second Get may legitimately miss.
+	st := p.Stats()
+	if st.Gets != 2 || st.Puts != 1 || st.Hits > 1 {
+		t.Fatalf("stats = %+v, want Gets=2 Puts=1 Hits<=1", st)
+	}
+}
+
+func TestOversizedFallsThrough(t *testing.T) {
+	p := New()
+	b := p.GetRaw(5 << 20) // above the largest class
+	if len(b) != 5<<20 {
+		t.Fatalf("len = %d", len(b))
+	}
+	p.Put(b) // must be dropped, not retained
+	st := p.Stats()
+	if st.Puts != 0 || st.Hits != 0 {
+		t.Fatalf("oversized buffer entered the pool: %+v", st)
+	}
+}
+
+func TestForeignCapacityRejected(t *testing.T) {
+	p := New()
+	p.Put(make([]byte, 1000)) // not a power-of-two class capacity
+	p.Put(nil)
+	p.Put(make([]byte, 256)) // below the smallest class
+	if st := p.Stats(); st.Puts != 0 {
+		t.Fatalf("foreign buffer accepted: %+v", st)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.GetRaw(1 << uint(9+i%6))
+				b[0], b[len(b)-1] = seed, seed
+				p.Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Gets != st.Puts {
+		t.Fatalf("lease imbalance after concurrent churn: %+v", st)
+	}
+}

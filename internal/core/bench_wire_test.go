@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ecstore/internal/cluster"
+	"ecstore/internal/core"
+)
+
+// Wire-path benchmarks: full client Set/Get through real servers over
+// the in-process transport. These use only the stable public API so
+// the same file runs unmodified against older revisions for
+// before/after comparisons.
+
+var wireBenchSizes = []int{1 << 10, 64 << 10, 1 << 20}
+
+func wireBenchModes() []struct {
+	name string
+	cfg  core.Config
+} {
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"rep3", core.Config{Resilience: core.ResilienceSyncRep, Replicas: 3}},
+		{"ce-cd", core.Config{Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2}},
+		{"se-sd", core.Config{Resilience: core.ResilienceErasure, Scheme: core.SchemeSESD, K: 3, M: 2}},
+	}
+}
+
+func benchClient(b *testing.B, cfg core.Config) *core.Client {
+	b.Helper()
+	cl, err := cluster.Start(cluster.Config{N: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	cfg.Network = cl.Network()
+	cfg.Servers = cl.Addrs()
+	c, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+func BenchmarkClientSet(b *testing.B) {
+	for _, mode := range wireBenchModes() {
+		for _, size := range wireBenchSizes {
+			b.Run(fmt.Sprintf("%s/%dKB", mode.name, size>>10), func(b *testing.B) {
+				c := benchClient(b, mode.cfg)
+				value := bytes.Repeat([]byte{0xA5}, size)
+				b.ReportAllocs()
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Set(fmt.Sprintf("bench/%d", i%64), value); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkClientGet(b *testing.B) {
+	for _, mode := range wireBenchModes() {
+		for _, size := range wireBenchSizes {
+			b.Run(fmt.Sprintf("%s/%dKB", mode.name, size>>10), func(b *testing.B) {
+				c := benchClient(b, mode.cfg)
+				value := bytes.Repeat([]byte{0xA5}, size)
+				for i := 0; i < 8; i++ {
+					if err := c.Set(fmt.Sprintf("bench/%d", i), value); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, err := c.Get(fmt.Sprintf("bench/%d", i%8))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) != size {
+						b.Fatalf("got %d bytes, want %d", len(got), size)
+					}
+				}
+			})
+		}
+	}
+}

@@ -277,7 +277,8 @@ func (c *Client) Delete(key string) error {
 
 // Ping checks liveness of one server.
 func (c *Client) Ping(addr string) error {
-	_, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "ping"})
+	resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpPing, Key: "ping"})
+	resp.Release()
 	return err
 }
 
@@ -285,10 +286,13 @@ func (c *Client) Ping(addr string) error {
 func (c *Client) ServerStats(addr string) (store.Stats, error) {
 	resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpStats, Key: "stats"})
 	if err != nil {
+		resp.Release()
 		return store.Stats{}, err
 	}
 	var st store.Stats
-	if err := json.Unmarshal(resp.Value, &st); err != nil {
+	err = json.Unmarshal(resp.Value, &st)
+	resp.Release()
+	if err != nil {
 		return store.Stats{}, fmt.Errorf("core: decode stats: %w", err)
 	}
 	return st, nil
@@ -304,12 +308,15 @@ func (c *Client) Metrics() *metrics.Registry { return c.cfg.Metrics }
 func (c *Client) ServerMetrics(addr string) (metrics.Snapshot, error) {
 	resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpStats, Key: "stats"})
 	if err != nil {
+		resp.Release()
 		return metrics.Snapshot{}, err
 	}
 	var payload struct {
 		Metrics metrics.Snapshot `json:"metrics"`
 	}
-	if err := json.Unmarshal(resp.Value, &payload); err != nil {
+	err = json.Unmarshal(resp.Value, &payload)
+	resp.Release()
+	if err != nil {
 		return metrics.Snapshot{}, fmt.Errorf("core: decode metrics: %w", err)
 	}
 	return payload.Metrics, nil

@@ -82,10 +82,15 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 	for i, addr := range placement {
 		cm := meta
 		cm.ChunkIndex = uint8(i)
+		// Chunk payloads are leased from the frame pool and handed over
+		// with the request (ValuePool): the connection's frame writer
+		// releases each one as its bytes hit the wire, success or not.
+		fp := e.c.pool.FramePool()
 		call, err := e.c.pool.Send(addr, &wire.Request{
 			Op:         wire.OpSetChunk,
 			Key:        wire.ChunkKey(key, i),
-			Value:      wire.EncodeChunkPayload(cm, shards[i]),
+			Value:      wire.EncodeChunkPayloadPooled(fp, cm, shards[i]),
+			ValuePool:  fp,
 			TTLSeconds: ttlSeconds(ttl),
 			Meta:       cm,
 		})
@@ -106,6 +111,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 		if err == nil {
 			err = resp.Err()
 		}
+		resp.Release()
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("chunk %d write: %w", i, err)
 		}
@@ -147,7 +153,8 @@ func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64,
 		calls = append(calls, call)
 	}
 	for _, call := range calls {
-		_, _ = call.Wait()
+		resp, _ := call.Wait()
+		resp.Release()
 	}
 }
 
@@ -169,10 +176,11 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 		if i > 0 {
 			e.c.mFailovers.Inc()
 		}
-		_, err := e.c.pool.Roundtrip(addr, &wire.Request{
+		resp, err := e.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpEncodeSet, Key: key, Value: value,
 			TTLSeconds: ttlSeconds(ttl), Meta: meta,
 		})
+		resp.Release()
 		if err == nil {
 			return nil
 		}
@@ -222,6 +230,16 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 	// them. Timed-out and unreachable locations are in neither.
 	reachable, notFound := 0, 0
 
+	// Chunks in the collector alias the pooled bodies of the responses
+	// that carried them; the leases are held until Join has copied the
+	// value out, then returned to the frame pool.
+	var retained []*wire.Response
+	defer func() {
+		for _, r := range retained {
+			r.Release()
+		}
+	}()
+
 	fetch := func(lo, hi int) {
 		calls := make(map[int]*rpc.Call, hi-lo)
 		for i := lo; i < hi; i++ {
@@ -243,13 +261,16 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 				if errors.Is(respErr, wire.ErrNotFound) {
 					notFound++
 				}
+				resp.Release()
 				continue
 			}
 			meta, chunk, err := wire.DecodeChunkPayload(resp.Value)
 			if err != nil {
+				resp.Release()
 				continue // corrupt or torn chunk: parity covers it
 			}
 			collector.Add(meta, chunk)
+			retained = append(retained, resp)
 		}
 	}
 
@@ -325,13 +346,20 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, er
 		})
 		switch {
 		case err == nil:
-			return resp.Value, nil
+			// The joined value escapes to the caller; copy it out of the
+			// pooled frame body before the lease goes back.
+			v := append([]byte(nil), resp.Value...)
+			resp.Release()
+			return v, nil
 		case errors.Is(err, wire.ErrNotFound):
+			resp.Release()
 			return nil, ErrNotFound
 		case rpc.IsUnavailable(err):
+			resp.Release()
 			lastErr = err
 			continue
 		default:
+			resp.Release()
 			return nil, err
 		}
 	}
@@ -372,6 +400,7 @@ func (e *ecStrategy) del(key string) error {
 			continue
 		}
 		respErr := resp.Err()
+		resp.Release()
 		switch {
 		case respErr == nil:
 			deleted++

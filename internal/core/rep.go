@@ -30,9 +30,11 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
 		// (Equation 2: F * (L + D/B)).
 		for _, addr := range placement {
 			start := time.Now()
-			if _, err := r.c.pool.Roundtrip(addr, &wire.Request{
+			resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
 				Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
-			}); err != nil {
+			})
+			resp.Release()
+			if err != nil {
 				return err
 			}
 			r.c.instrument("set", phaseWait, time.Since(start))
@@ -68,6 +70,7 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
 		if err == nil {
 			err = resp.Err()
 		}
+		resp.Release()
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -111,15 +114,22 @@ func (r *repStrategy) getOnce(key string, placement []string) ([]byte, error) {
 		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
 		switch {
 		case err == nil:
-			return resp.Value, nil
+			// The value escapes to the caller while the response body
+			// goes back to the frame pool: copy out first.
+			v := append([]byte(nil), resp.Value...)
+			resp.Release()
+			return v, nil
 		case errors.Is(err, wire.ErrNotFound):
+			resp.Release()
 			// A live server answered authoritatively: the key is gone
 			// (memcached semantics — evictions are cache misses).
 			return nil, ErrNotFound
 		case rpc.IsUnavailable(err):
+			resp.Release()
 			lastErr = err
 			continue
 		default:
+			resp.Release()
 			return nil, err
 		}
 	}
@@ -137,7 +147,8 @@ func (r *repStrategy) del(key string) error {
 	anyLive := false
 	deleted := 0
 	for _, addr := range placement {
-		_, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: key})
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: key})
+		resp.Release()
 		switch {
 		case err == nil:
 			anyLive = true

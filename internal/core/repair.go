@@ -80,15 +80,21 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
 		if err == nil {
 			if !found {
-				value = resp.Value
+				// value outlives the pooled response body (it feeds the
+				// rewrites below): copy it out before releasing.
+				value = append([]byte(nil), resp.Value...)
 				found = true
+				resp.Release()
 				continue
 			}
-			if !bytes.Equal(resp.Value, value) {
+			diverged := !bytes.Equal(resp.Value, value)
+			resp.Release()
+			if diverged {
 				missing = append(missing, addr) // diverged: rewrite below
 			}
 			continue
 		}
+		resp.Release()
 		if errors.Is(err, wire.ErrNotFound) {
 			notFound++
 		}
@@ -103,9 +109,11 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 		return report, fmt.Errorf("%w: no live replica of %q", ErrUnavailable, key)
 	}
 	for _, addr := range missing {
-		if _, err := r.c.pool.Roundtrip(addr, &wire.Request{
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpSet, Key: key, Value: value,
-		}); err != nil {
+		})
+		resp.Release()
+		if err != nil {
 			continue // replica still down; rewrite what we can
 		}
 		report.Rewritten++
@@ -124,6 +132,15 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 	report := RepairReport{Checked: n}
 
 	collector := wire.NewChunkCollector(e.k, n)
+	// Collected chunks alias pooled response bodies; the leases are
+	// held through reconstruction and the rewrites (whose payload
+	// encoding copies the chunk bytes), then returned.
+	var retained []*wire.Response
+	defer func() {
+		for _, r := range retained {
+			r.Release()
+		}
+	}()
 	notFound, reached := 0, 0
 	calls := make(map[int]*rpc.Call, n)
 	for i := 0; i < n; i++ {
@@ -145,13 +162,16 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 			if errors.Is(respErr, wire.ErrNotFound) {
 				notFound++
 			}
+			resp.Release()
 			continue
 		}
 		m, chunk, err := wire.DecodeChunkPayload(resp.Value)
 		if err != nil {
+			resp.Release()
 			continue // corrupt chunk: rebuild it below
 		}
 		collector.Add(m, chunk)
+		retained = append(retained, resp)
 	}
 	stripe, totalLen, chunks, ok := collector.Best()
 	if !ok {
@@ -209,12 +229,16 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 			TotalLen:   totalLen,
 			Stripe:     stripe,
 		}
-		if _, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
-			Op:    wire.OpSetChunk,
-			Key:   wire.ChunkKey(key, i),
-			Value: wire.EncodeChunkPayload(cm, chunks[i]),
-			Meta:  cm,
-		}); err != nil {
+		fp := e.c.pool.FramePool()
+		resp, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
+			Op:        wire.OpSetChunk,
+			Key:       wire.ChunkKey(key, i),
+			Value:     wire.EncodeChunkPayloadPooled(fp, cm, chunks[i]),
+			ValuePool: fp,
+			Meta:      cm,
+		})
+		resp.Release()
+		if err != nil {
 			continue // holder still down; partial repair
 		}
 		report.Rewritten++
@@ -262,15 +286,22 @@ func (r *repStrategy) verify(key string) (bool, error) {
 		switch {
 		case err == nil:
 			if have > 0 && !bytes.Equal(resp.Value, ref) {
+				resp.Release()
 				return false, nil // diverged replicas: needs repair
 			}
-			ref = resp.Value
+			// ref is compared against later replicas after this response's
+			// lease is returned, so it must own its bytes.
+			ref = append(ref[:0], resp.Value...)
+			resp.Release()
 			have++
 		case errors.Is(err, wire.ErrNotFound):
+			resp.Release()
 			notFound++
 		case rpc.IsUnavailable(err):
+			resp.Release()
 			// Unreachable holder: cannot attest full redundancy.
 		default:
+			resp.Release()
 			return false, err
 		}
 	}
@@ -288,6 +319,14 @@ func (e *ecStrategy) verify(key string) (bool, error) {
 	}
 	chunks := make([][]byte, n)
 	stripes := make([]uint64, n)
+	// Verified chunks alias pooled response bodies, which must survive
+	// until code.Verify has recomputed parity over them.
+	var retained []*wire.Response
+	defer func() {
+		for _, r := range retained {
+			r.Release()
+		}
+	}()
 	notFound, have := 0, 0
 	for i := 0; i < n; i++ {
 		resp, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
@@ -299,13 +338,19 @@ func (e *ecStrategy) verify(key string) (bool, error) {
 				chunks[i] = chunk
 				stripes[i] = m.Stripe
 				have++
+				retained = append(retained, resp)
+			} else {
+				resp.Release()
 			}
 		case errors.Is(err, wire.ErrNotFound):
+			resp.Release()
 			notFound++
 		case rpc.IsUnavailable(err):
+			resp.Release()
 			// Unreachable or hung chunk holder: cannot attest full
 			// consistency.
 		default:
+			resp.Release()
 			return false, err
 		}
 	}

@@ -61,9 +61,11 @@ func (c *Client) scanServer(addr string, pageSize int, emit func(string)) error 
 			Meta:  wire.ECMeta{TotalLen: uint32(pageSize)},
 		})
 		if err != nil {
+			resp.Release()
 			return err
 		}
 		page, err := wire.DecodeScanPage(resp.Value)
+		resp.Release() // the page copied its keys and cursor out
 		if err != nil {
 			return fmt.Errorf("core: scan %s: %w", addr, err)
 		}

@@ -248,7 +248,7 @@ func (o codecOpts) alloc(n int) []byte {
 	if o.pool == nil {
 		return make([]byte, n)
 	}
-	return o.pool.getRaw(n)
+	return o.pool.GetRaw(n)
 }
 
 // release hands a buffer back to the configured pool (no-op when

@@ -1,138 +1,28 @@
 package erasure
 
 import (
-	"sync"
 	"sync/atomic"
+
+	"ecstore/internal/bufpool"
 )
 
-// BufferPool is a size-classed, sync.Pool-backed allocator for shard
-// buffers — the analog of the paper's ARPE "pre-registered buffer pool".
-// Encoding a 1 MB value with RS(3,2) needs five ~350 KB buffers per Set;
-// allocating them per call makes the garbage collector a codec
-// bottleneck at high op rates. The pool recycles buffers between
-// operations instead.
-//
-// Buffers are grouped in power-of-two size classes from 512 B to 4 MB;
-// smaller requests draw from the 512 B class and larger ones fall
-// through to plain make (and are never retained). A BufferPool
-// is safe for concurrent use; the zero value is NOT usable — call
-// NewBufferPool (or use DefaultPool).
-type BufferPool struct {
-	classes [poolClasses]sync.Pool // pooled buffers, by size class
-	entries sync.Pool              // recycled *poolEntry wrappers
+// BufferPool is the size-classed, sync.Pool-backed shard-buffer
+// allocator. It now lives in internal/bufpool so the wire path can
+// lease frame buffers from the same classes the codec recycles shard
+// buffers through; the erasure-side names are kept as aliases because
+// the codec API (WithPool, SplitPooled) predates the move.
+type BufferPool = bufpool.Pool
 
-	// Stats counters (atomic). Hits counts Gets served from the pool;
-	// misses counts Gets that had to allocate.
-	gets, hits, puts uint64
-}
-
-const (
-	minPoolShift = 9  // smallest pooled class: 512 B
-	maxPoolShift = 22 // largest pooled class: 4 MB
-	poolClasses  = maxPoolShift - minPoolShift + 1
-)
-
-// poolEntry boxes a buffer for sync.Pool storage. Wrappers are
-// themselves recycled through BufferPool.entries so that steady-state
-// Get/Put cycles allocate nothing at all.
-type poolEntry struct{ buf []byte }
+// PoolStats is a snapshot of pool activity.
+type PoolStats = bufpool.Stats
 
 // NewBufferPool returns an empty pool.
-func NewBufferPool() *BufferPool { return &BufferPool{} }
+func NewBufferPool() *BufferPool { return bufpool.New() }
 
-// DefaultPool is the process-wide shard-buffer pool. NewRSVan uses it
-// unless overridden with WithPool.
-var DefaultPool = NewBufferPool()
-
-// classFor returns the size-class index whose buffers hold n bytes, or
-// -1 when n is outside the pooled range.
-func classFor(n int) int {
-	if n <= 0 || n > 1<<maxPoolShift {
-		return -1
-	}
-	shift := minPoolShift
-	for 1<<shift < n {
-		shift++
-	}
-	return shift - minPoolShift
-}
-
-// classForCap returns the class index whose buffer capacity is exactly
-// c, or -1. The exact-match requirement keeps foreign buffers (network
-// payload sub-slices, odd-sized allocations) out of the pool.
-func classForCap(c int) int {
-	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
-		return -1
-	}
-	shift := 0
-	for 1<<shift < c {
-		shift++
-	}
-	return shift - minPoolShift
-}
-
-// Get returns a zeroed buffer of length n. The buffer comes from the
-// pool when a suitably sized one is available; hand it back with Put
-// when done.
-func (p *BufferPool) Get(n int) []byte {
-	b := p.getRaw(n)
-	clearSlice(b)
-	return b
-}
-
-// getRaw is Get without the zeroing guarantee: the returned buffer may
-// hold bytes from a previous use. Callers must overwrite every byte
-// (or zero the part they do not write).
-func (p *BufferPool) getRaw(n int) []byte {
-	atomic.AddUint64(&p.gets, 1)
-	cls := classFor(n)
-	if cls < 0 {
-		return make([]byte, n)
-	}
-	if e, _ := p.classes[cls].Get().(*poolEntry); e != nil {
-		b := e.buf
-		e.buf = nil
-		p.entries.Put(e)
-		atomic.AddUint64(&p.hits, 1)
-		return b[:n]
-	}
-	return make([]byte, n, 1<<(cls+minPoolShift))
-}
-
-// Put returns a buffer to the pool. Only buffers whose capacity exactly
-// matches a size class are retained (buffers from Get always do);
-// anything else — including nil — is silently dropped for the garbage
-// collector. The caller must not use b after Put.
-func (p *BufferPool) Put(b []byte) {
-	cls := classForCap(cap(b))
-	if cls < 0 {
-		return
-	}
-	atomic.AddUint64(&p.puts, 1)
-	e, _ := p.entries.Get().(*poolEntry)
-	if e == nil {
-		e = new(poolEntry)
-	}
-	e.buf = b[:cap(b)]
-	p.classes[cls].Put(e)
-}
-
-// PoolStats is a snapshot of pool activity, exposed for tests and
-// observability.
-type PoolStats struct {
-	Gets uint64 // total Get/getRaw calls
-	Hits uint64 // Gets served by recycling a pooled buffer
-	Puts uint64 // buffers accepted back into the pool
-}
-
-// Stats returns a snapshot of the pool counters.
-func (p *BufferPool) Stats() PoolStats {
-	return PoolStats{
-		Gets: atomic.LoadUint64(&p.gets),
-		Hits: atomic.LoadUint64(&p.hits),
-		Puts: atomic.LoadUint64(&p.puts),
-	}
-}
+// DefaultPool is the process-wide shard-buffer pool — bufpool.Default,
+// shared with the rpc and server frame paths. NewRSVan uses it unless
+// overridden with WithPool.
+var DefaultPool = bufpool.Default
 
 // PooledShards is a shard set whose buffers were drawn from a
 // BufferPool, with explicit release semantics: call Release exactly
@@ -170,7 +60,7 @@ func SplitPooled(value []byte, k, m int, pool *BufferPool) *PooledShards {
 		ps.Shards = make([][]byte, n)
 	}
 	for i := 0; i < k; i++ {
-		s := pool.getRaw(per)
+		s := pool.GetRaw(per)
 		lo := i * per
 		n := 0
 		if lo < len(value) {

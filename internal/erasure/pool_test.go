@@ -135,10 +135,10 @@ func TestPooledShardsDoubleRelease(t *testing.T) {
 	// The pool now holds the three data buffers. A second Release must
 	// not push anything again — otherwise the same backing array could
 	// be handed to two callers.
-	a := p.getRaw(2048)
+	a := p.GetRaw(2048)
 	ps.Release()
-	b := p.getRaw(2048)
-	c := p.getRaw(2048)
+	b := p.GetRaw(2048)
+	c := p.GetRaw(2048)
 	if &a[0] == &b[0] || &a[0] == &c[0] || &b[0] == &c[0] {
 		t.Fatal("double release produced aliased buffers")
 	}
@@ -162,7 +162,7 @@ func TestBufferPoolConcurrentStress(t *testing.T) {
 			sizes := []int{512, 2 << 10, 64 << 10, 300, 100 << 10}
 			for i := 0; i < iters; i++ {
 				n := sizes[rng.Intn(len(sizes))]
-				b := p.getRaw(n)
+				b := p.GetRaw(n)
 				pat := byte(id*31 + i)
 				for j := range b {
 					b[j] = pat

@@ -3,6 +3,7 @@ package metrics
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -15,16 +16,43 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// ServeOption configures Serve.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct {
+	pprof bool
+}
+
+// WithPprof additionally mounts the net/http/pprof handlers under
+// /debug/pprof/ so CPU and allocation profiles can be captured from a
+// live process (`go tool pprof http://addr/debug/pprof/profile`). Off
+// by default: the profile endpoints expose internals and cost CPU
+// while sampling, so they are opt-in via the binaries' -pprof flag.
+func WithPprof() ServeOption {
+	return func(o *serveOptions) { o.pprof = true }
+}
+
 // Serve exposes the registry at http://addr/metrics in the background
 // and returns a function that shuts the listener down. It is the
 // implementation behind the binaries' -metrics-addr flag.
-func Serve(addr string, r *Registry) (close func(), err error) {
+func Serve(addr string, r *Registry, opts ...ServeOption) (close func(), err error) {
+	var o serveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	if o.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return func() { _ = srv.Close() }, nil

@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ecstore/internal/transport"
+	"ecstore/internal/wire"
+)
+
+// startBenchEcho is a self-contained echo server for benchmarks (kept
+// separate from the test helper so the file can be run against older
+// revisions for before/after comparisons).
+func startBenchEcho(b *testing.B, network transport.Network, addr string) {
+	b.Helper()
+	l, err := network.Listen(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReaderSize(conn, 256<<10)
+				var mu sync.Mutex
+				for {
+					req, err := wire.ReadRequest(br)
+					if err != nil {
+						return
+					}
+					mu.Lock()
+					err = wire.WriteResponse(conn, &wire.Response{
+						ID: req.ID, Status: wire.StatusOK, Value: req.Value,
+					})
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+var rpcBenchSizes = []int{1 << 10, 64 << 10, 1 << 20}
+
+// releaseBench returns a response's pooled frame body to its pool.
+// When this file is run against revisions predating response pooling
+// for a before/after comparison, replace the body with a no-op.
+func releaseBench(r *wire.Response) { r.Release() }
+
+// BenchmarkRoundtrip measures one blocking request/response echo —
+// the client Set/Get wire path without codec or placement logic.
+func BenchmarkRoundtrip(b *testing.B) {
+	for _, size := range rpcBenchSizes {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			n := transport.NewInproc(transport.Shape{})
+			startBenchEcho(b, n, "echo")
+			p := NewPool(n)
+			defer p.Close()
+			value := bytes.Repeat([]byte{0xA5}, size)
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				resp, err := p.Roundtrip("echo", &wire.Request{Op: wire.OpSet, Key: "bench", Value: value})
+				if err != nil {
+					b.Fatal(err)
+				}
+				releaseBench(resp)
+			}
+		})
+	}
+}
+
+// BenchmarkInFlightWindow keeps an ARPE-style window of non-blocking
+// calls open on one connection — the pattern the batched frame writer
+// coalesces.
+func BenchmarkInFlightWindow(b *testing.B) {
+	const window = 32
+	for _, size := range []int{1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			n := transport.NewInproc(transport.Shape{})
+			startBenchEcho(b, n, "echo")
+			p := NewPool(n)
+			defer p.Close()
+			value := bytes.Repeat([]byte{0xA5}, size)
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			calls := make([]*Call, 0, window)
+			for i := 0; i < b.N; i++ {
+				call, err := p.Send("echo", &wire.Request{Op: wire.OpSet, Key: "bench", Value: value})
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = append(calls, call)
+				if len(calls) == window {
+					for _, c := range calls {
+						resp, err := c.Wait()
+						if err != nil {
+							b.Fatal(err)
+						}
+						releaseBench(resp)
+					}
+					calls = calls[:0]
+				}
+			}
+			for _, c := range calls {
+				resp, err := c.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				releaseBench(resp)
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"ecstore/internal/bufpool"
 	"ecstore/internal/metrics"
 	"ecstore/internal/stats"
 	"ecstore/internal/transport"
@@ -81,19 +82,26 @@ func (c *Call) Ready() bool {
 	}
 }
 
-// Wait blocks until the call completes and returns its response.
+// Wait blocks until the call completes and returns its response. The
+// response's Value may alias a pooled frame buffer: call
+// Response.Release once done with it (copy the value first if it
+// outlives the call), or let the garbage collector have it at the cost
+// of a pool miss.
 func (c *Call) Wait() (*wire.Response, error) {
 	<-c.done
 	return c.resp, c.err
 }
 
 // complete finishes the call exactly once; a late completion (a
-// response racing the deadline timer, or vice versa) is dropped.
-func (c *Call) complete(resp *wire.Response, err error) {
+// response racing the deadline timer, or vice versa) is dropped. It
+// reports whether this completion was the one delivered — a false
+// return means resp was NOT handed to the caller, so a pooled response
+// must be released by whoever called complete.
+func (c *Call) complete(resp *wire.Response, err error) bool {
 	c.mu.Lock()
 	if c.completed {
 		c.mu.Unlock()
-		return
+		return false
 	}
 	c.completed = true
 	c.resp, c.err = resp, err
@@ -106,6 +114,7 @@ func (c *Call) complete(resp *wire.Response, err error) {
 	if c.onDone != nil {
 		c.onDone(err)
 	}
+	return true
 }
 
 // arm starts the deadline timer unless the call already completed.
@@ -150,6 +159,14 @@ func WithProbeBackoff(base, max time.Duration) Option {
 	}
 }
 
+// WithFramePool sets the buffer pool frames and read bodies are leased
+// from. The default is bufpool.Default (shared with the erasure codec);
+// a nil pool disables pooling — every frame allocates and releases are
+// no-ops, useful for isolating pool bugs.
+func WithFramePool(pool *bufpool.Pool) Option {
+	return func(p *Pool) { p.framePool = pool }
+}
+
 // WithMetrics publishes the pool's counters into reg: calls issued,
 // completions by outcome (ok / timeout / error), sends suppressed by
 // the suspect fast-fail, dials and dial failures, health-state
@@ -169,6 +186,7 @@ type Pool struct {
 	probeBase     time.Duration
 	probeMax      time.Duration
 	reg           *metrics.Registry
+	framePool     *bufpool.Pool
 
 	// Metric handles are resolved once at construction so the hot send
 	// path pays one atomic op per event, not a registry lookup.
@@ -201,6 +219,7 @@ func NewPool(network transport.Network, opts ...Option) *Pool {
 		failThreshold: DefaultFailureThreshold,
 		probeBase:     DefaultProbeBase,
 		probeMax:      DefaultProbeMax,
+		framePool:     bufpool.Default,
 	}
 	for _, o := range opts {
 		o(p)
@@ -220,6 +239,12 @@ func NewPool(network transport.Network, opts ...Option) *Pool {
 	return p
 }
 
+// FramePool returns the buffer pool this pool leases frames from (nil
+// when pooling is disabled). Callers building pooled request values —
+// e.g. chunk payloads handed over via Request.ValuePool — should lease
+// from it so buffers recycle within one pool.
+func (p *Pool) FramePool() *bufpool.Pool { return p.framePool }
+
 // Send issues req to addr and returns the pending Call under the
 // pool's default deadline. Dial happens lazily; a broken connection is
 // dropped so the next Send redials.
@@ -230,16 +255,23 @@ func (p *Pool) Send(addr string, req *wire.Request) (*Call, error) {
 // SendTimeout is Send with an explicit per-call deadline (0 = none).
 // A suspect server that is not due for a probe fails immediately with
 // an error wrapping ErrServerDown — no dial is attempted.
+//
+// If req.ValuePool is set, ownership of the value lease transfers to
+// the rpc layer the moment SendTimeout is called: the buffer is
+// released after the frame is written — or on any failure path — and
+// the caller must not touch req.Value afterwards, success or not.
 func (p *Pool) SendTimeout(addr string, req *wire.Request, timeout time.Duration) (*Call, error) {
 	h := p.healthFor(addr)
 	if h != nil && !h.admit(time.Now(), p.probeBase, p.probeMax) {
 		p.mFailFast.Inc()
+		req.ReleaseValue()
 		return nil, fmt.Errorf("%w: %s: suspect, awaiting probe", ErrServerDown, addr)
 	}
 	mc, err := p.conn(addr)
 	if err != nil {
 		p.mSendErrors.Inc()
 		p.observe(addr, err)
+		req.ReleaseValue()
 		return nil, err
 	}
 	start := time.Now()
@@ -375,7 +407,7 @@ func (p *Pool) conn(addr string) (*muxConn, error) {
 		p.mDialErrors.Inc()
 		return nil, fmt.Errorf("%w: %s: %v", ErrServerDown, addr, err)
 	}
-	mc := newMuxConn(raw)
+	mc := newMuxConn(raw, p.framePool)
 	p.conns[addr] = mc
 	return mc, nil
 }
@@ -404,13 +436,16 @@ func (p *Pool) Close() {
 	}
 }
 
-// muxConn multiplexes calls over one transport connection.
+// muxConn multiplexes calls over one transport connection. Outbound
+// frames are encoded outside any lock and handed to a per-connection
+// FrameQueue whose writer goroutine drains everything queued since its
+// last flush and writes the batch as one vectored write — a full
+// ARPE-style window of in-flight chunk operations costs a handful of
+// syscalls, not one flush per frame.
 type muxConn struct {
 	conn transport.Conn
-
-	writeMu sync.Mutex
-	bw      *bufio.Writer
-	wbuf    []byte
+	fq   *wire.FrameQueue
+	pool *bufpool.Pool
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -419,12 +454,20 @@ type muxConn struct {
 	deadErr error
 }
 
-func newMuxConn(conn transport.Conn) *muxConn {
+// sendQueueDepth bounds the number of encoded-but-unwritten frames per
+// connection; Enqueue blocks (backpressure) beyond it. Sized to hold a
+// few full RS stripes' worth of chunk writes.
+const sendQueueDepth = 256
+
+func newMuxConn(conn transport.Conn, pool *bufpool.Pool) *muxConn {
 	mc := &muxConn{
 		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pool:    pool,
 		pending: make(map[uint64]*Call),
 	}
+	mc.fq = wire.NewFrameQueue(conn, sendQueueDepth, pool, func(err error) {
+		mc.close(fmt.Errorf("%w: %v", ErrServerDown, err))
+	})
 	go mc.readLoop()
 	return mc
 }
@@ -442,6 +485,7 @@ func (mc *muxConn) send(req *wire.Request, timeout time.Duration, onDone func(er
 	if mc.dead {
 		err := mc.deadErr
 		mc.mu.Unlock()
+		req.ReleaseValue()
 		return nil, err
 	}
 	mc.nextID++
@@ -449,21 +493,22 @@ func (mc *muxConn) send(req *wire.Request, timeout time.Duration, onDone func(er
 	mc.pending[req.ID] = call
 	mc.mu.Unlock()
 
-	mc.writeMu.Lock()
-	var err error
-	mc.wbuf, err = wire.AppendRequest(mc.wbuf[:0], req)
+	// Encode outside every lock so one big value can't stall unrelated
+	// calls; the frame either reaches the queue (which then owns it and
+	// any transferred value lease) or is released by the failing step.
+	frame, err := wire.EncodeRequestFrame(mc.pool, req)
 	if err == nil {
-		_, err = mc.bw.Write(mc.wbuf)
-		if err == nil {
-			err = mc.bw.Flush()
-		}
+		err = mc.fq.Enqueue(frame)
 	}
-	mc.writeMu.Unlock()
 	if err != nil {
 		mc.mu.Lock()
 		delete(mc.pending, req.ID)
 		mc.mu.Unlock()
-		mc.close(err)
+		if !errors.Is(err, wire.ErrFrameTooLarge) {
+			// Write-path errors kill the connection; an oversized
+			// request is the caller's problem, not the link's.
+			mc.close(err)
+		}
 		return nil, err
 	}
 	if timeout > 0 {
@@ -483,7 +528,7 @@ func (mc *muxConn) send(req *wire.Request, timeout time.Duration, onDone func(er
 func (mc *muxConn) readLoop() {
 	br := bufio.NewReaderSize(mc.conn, 64<<10)
 	for {
-		resp, err := wire.ReadResponse(br)
+		resp, err := wire.ReadResponsePooled(br, mc.pool)
 		if err != nil {
 			mc.close(fmt.Errorf("%w: %v", ErrServerDown, err))
 			return
@@ -492,8 +537,11 @@ func (mc *muxConn) readLoop() {
 		call, ok := mc.pending[resp.ID]
 		delete(mc.pending, resp.ID)
 		mc.mu.Unlock()
-		if ok {
-			call.complete(resp, nil)
+		// A response nobody is waiting for (late arrival after a
+		// deadline, or a lost race with the timer inside complete) must
+		// return its leased frame body itself.
+		if !ok || !call.complete(resp, nil) {
+			resp.Release()
 		}
 	}
 }
@@ -510,7 +558,10 @@ func (mc *muxConn) close(err error) {
 	pending := mc.pending
 	mc.pending = make(map[uint64]*Call)
 	mc.mu.Unlock()
+	// Closing the conn unblocks any in-flight batch write; the queue
+	// then drains, releasing every still-owned frame buffer.
 	_ = mc.conn.Close()
+	_ = mc.fq.Close()
 	for _, call := range pending {
 		call.complete(nil, err)
 	}

@@ -12,19 +12,21 @@ import (
 
 // code returns a cached RS-Vandermonde code for (k, m). Server-side
 // encode/decode always uses RS(K,M), the code the paper selects.
+// Lock-free on the hit path: the codecs are concurrency-safe, so
+// workers encode and decode in parallel. Two workers racing the first
+// miss may both construct a code; LoadOrStore keeps one and the other
+// is garbage — cheap, and only ever on first use of a (k, m) pair.
 func (s *Server) code(k, m int) (erasure.Code, error) {
-	s.codeMu.Lock()
-	defer s.codeMu.Unlock()
 	key := [2]int{k, m}
-	if c, ok := s.codes[key]; ok {
-		return c, nil
+	if c, ok := s.codes.Load(key); ok {
+		return c.(erasure.Code), nil
 	}
 	c, err := erasure.NewRSVan(k, m)
 	if err != nil {
 		return nil, err
 	}
-	s.codes[key] = c
-	return c, nil
+	actual, _ := s.codes.LoadOrStore(key, c)
+	return actual.(erasure.Code), nil
 }
 
 // placement returns the n chunk-holder addresses for key: the ring
@@ -88,10 +90,13 @@ func (s *Server) handleEncodeSet(req *wire.Request) *wire.Response {
 			locals = append(locals, localChunk{idx: i, addr: addr})
 			continue
 		}
+		// The payload buffer is leased; Send owns it on every path and
+		// the frame writer releases it once the bytes are on the wire.
 		call, err := s.peers.Send(addr, &wire.Request{
 			Op:         wire.OpSetChunk,
 			Key:        wire.ChunkKey(req.Key, i),
-			Value:      wire.EncodeChunkPayload(cm, shards[i]),
+			Value:      wire.EncodeChunkPayloadPooled(s.framePool, cm, shards[i]),
+			ValuePool:  s.framePool,
 			TTLSeconds: req.TTLSeconds,
 			Meta:       cm,
 		})
@@ -104,8 +109,10 @@ func (s *Server) handleEncodeSet(req *wire.Request) *wire.Response {
 	for _, lc := range locals {
 		cm := meta
 		cm.ChunkIndex = uint8(lc.idx)
-		payload := wire.EncodeChunkPayload(cm, shards[lc.idx])
-		if err := s.store.Set(wire.ChunkKey(req.Key, lc.idx), payload, ttl); err != nil {
+		payload := wire.EncodeChunkPayloadPooled(s.framePool, cm, shards[lc.idx])
+		err := s.store.Set(wire.ChunkKey(req.Key, lc.idx), payload, ttl)
+		s.framePool.Put(payload) // the store copied it
+		if err != nil {
 			localErr = err
 		}
 	}
@@ -114,6 +121,7 @@ func (s *Server) handleEncodeSet(req *wire.Request) *wire.Response {
 		if err == nil {
 			err = resp.Err()
 		}
+		resp.Release()
 		if err != nil {
 			return errorResponse(fmt.Errorf("peer chunk write: %w", err))
 		}
@@ -138,6 +146,16 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 		return errorResponse(err)
 	}
 	collector := wire.NewChunkCollector(k, k+m)
+
+	// Chunks handed to the collector alias the pooled bodies of peer
+	// responses, so those leases stay live until after Join copies the
+	// data out; only then do they go back to the pool.
+	var retained []*wire.Response
+	defer func() {
+		for _, r := range retained {
+			r.Release()
+		}
+	}()
 
 	// fetch attempts to retrieve the chunk set indexed by idxs;
 	// failures are tolerated (they are what parity is for), and
@@ -164,13 +182,16 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 		for _, call := range calls {
 			resp, err := call.Wait()
 			if err != nil || resp.Err() != nil {
+				resp.Release()
 				continue
 			}
 			meta, chunk, err := wire.DecodeChunkPayload(resp.Value)
 			if err != nil {
+				resp.Release()
 				continue
 			}
 			collector.Add(meta, chunk)
+			retained = append(retained, resp)
 		}
 	}
 

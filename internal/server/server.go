@@ -16,7 +16,7 @@ import (
 	"sync"
 	"time"
 
-	"ecstore/internal/erasure"
+	"ecstore/internal/bufpool"
 	"ecstore/internal/hashring"
 	"ecstore/internal/metrics"
 	"ecstore/internal/rpc"
@@ -60,6 +60,9 @@ type Config struct {
 	// series of the peer pool). A fresh registry is created when nil,
 	// reachable via Server.Metrics, so instrumentation is always on.
 	Metrics *metrics.Registry
+	// FramePool is the buffer pool request bodies and response frames
+	// are leased from (bufpool.Default if nil, shared with the codec).
+	FramePool *bufpool.Pool
 }
 
 // Server is a running key-value store server.
@@ -85,8 +88,15 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	codeMu sync.Mutex
-	codes  map[[2]int]erasure.Code
+	// codes caches constructed erasure codecs by {K, M}. A sync.Map —
+	// not a mutex-guarded map — because the codecs themselves (matrix,
+	// inversion cache, worker pool) are concurrency-safe: the old global
+	// codeMu serialized every server-side encode/decode across all
+	// workers, flattening Era-SE-* throughput at exactly the point the
+	// worker pool was supposed to scale it.
+	codes sync.Map // map[[2]int]erasure.Code
+
+	framePool *bufpool.Pool
 }
 
 type job struct {
@@ -94,26 +104,36 @@ type job struct {
 	out *connWriter
 }
 
-// connWriter serializes response writes for one connection.
+// connWriter serializes response writes for one connection through a
+// FrameQueue: workers encode response frames concurrently (no shared
+// lock) and enqueue them; the queue's writer goroutine flushes
+// everything queued since its last write as one vectored batch, so
+// responses to an ARPE window of pipelined requests share syscalls.
 type connWriter struct {
-	mu   sync.Mutex
-	bw   *bufio.Writer
 	conn transport.Conn
-	buf  []byte
+	fq   *wire.FrameQueue
+	pool *bufpool.Pool
+}
+
+// respQueueDepth bounds encoded-but-unwritten responses per connection;
+// beyond it workers block on Enqueue, which is the desired flow
+// control (a slow reader should stall its own responses, not the box).
+const respQueueDepth = 256
+
+func newConnWriter(conn transport.Conn, pool *bufpool.Pool) *connWriter {
+	cw := &connWriter{conn: conn, pool: pool}
+	// A write error means the peer is gone: close the conn so the read
+	// loop exits and tears the connection down.
+	cw.fq = wire.NewFrameQueue(conn, respQueueDepth, pool, func(error) { _ = conn.Close() })
+	return cw
 }
 
 func (cw *connWriter) write(resp *wire.Response) error {
-	cw.mu.Lock()
-	defer cw.mu.Unlock()
-	var err error
-	cw.buf, err = wire.AppendResponse(cw.buf[:0], resp)
+	frame, err := wire.EncodeResponseFrame(cw.pool, resp)
 	if err != nil {
 		return err
 	}
-	if _, err := cw.bw.Write(cw.buf); err != nil {
-		return err
-	}
-	return cw.bw.Flush()
+	return cw.fq.Enqueue(frame)
 }
 
 // New creates and starts a server listening on cfg.Addr.
@@ -144,6 +164,10 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	framePool := cfg.FramePool
+	if framePool == nil {
+		framePool = bufpool.Default
+	}
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
@@ -153,11 +177,11 @@ func New(cfg Config) (*Server, error) {
 		// The job queue is sized to keep every worker busy while the
 		// readers stay responsive; beyond that, backpressure blocks
 		// the connection reader, which is the desired flow control.
-		jobs:  make(chan job, workers*2),
-		quit:  make(chan struct{}),
-		logf:  logf,
-		conns: make(map[*connWriter]struct{}),
-		codes: make(map[[2]int]erasure.Code),
+		jobs:      make(chan job, workers*2),
+		quit:      make(chan struct{}),
+		logf:      logf,
+		conns:     make(map[*connWriter]struct{}),
+		framePool: framePool,
 
 		reg:            reg,
 		mOpsUnknown:    reg.Counter(`ecstore_server_ops_total{op="unknown"}`),
@@ -229,7 +253,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		cw := &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+		cw := newConnWriter(conn, s.framePool)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -250,10 +274,14 @@ func (s *Server) readLoop(conn transport.Conn, cw *connWriter) {
 		delete(s.conns, cw)
 		s.mu.Unlock()
 		_ = conn.Close()
+		// Stop the response writer and release any frames it still
+		// holds; workers racing a teardown get ErrQueueClosed (their
+		// frames are released by Enqueue).
+		_ = cw.fq.Close()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		req, err := wire.ReadRequest(br)
+		req, err := wire.ReadRequestPooled(br, s.framePool)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, transport.ErrClosed) {
 				s.logf("server %s: read: %v", s.cfg.Addr, err)
@@ -263,6 +291,7 @@ func (s *Server) readLoop(conn transport.Conn, cw *connWriter) {
 		select {
 		case s.jobs <- job{req: req, out: cw}:
 		case <-s.quit:
+			req.Release()
 			return
 		}
 	}
@@ -277,6 +306,10 @@ func (s *Server) worker() {
 			resp := s.handle(j.req)
 			s.hHandleSeconds.Record(time.Since(start))
 			resp.ID = j.req.ID
+			// The handlers never let the request body escape into the
+			// response (the store copies on Set and Get), so the leased
+			// frame body can go back to the pool before the write.
+			j.req.Release()
 			// A write error means the connection died; its read loop
 			// cleans up.
 			_ = j.out.write(resp)

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"ecstore/internal/bufpool"
+)
+
+var benchSizes = []int{1 << 10, 64 << 10, 1 << 20}
+
+func benchRequest(size int) *Request {
+	return &Request{
+		ID: 1, Op: OpSetChunk, Key: "bench/key/0",
+		Value: bytes.Repeat([]byte{0xA5}, size),
+		Meta:  ECMeta{ChunkIndex: 1, K: 3, M: 2, TotalLen: uint32(size)},
+	}
+}
+
+func BenchmarkAppendRequest(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			req := benchRequest(size)
+			var buf []byte
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = AppendRequest(buf[:0], req)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeRequestFrame(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			pool := bufpool.New()
+			req := benchRequest(size)
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				f, err := EncodeRequestFrame(pool, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.WriteTo(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+				f.Release()
+			}
+		})
+	}
+}
+
+func BenchmarkReadResponse(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			enc, err := AppendResponse(nil, &Response{
+				ID: 1, Status: StatusOK, Value: bytes.Repeat([]byte{1}, size),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := bytes.NewReader(enc)
+			br := bufio.NewReaderSize(r, 64<<10)
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				r.Reset(enc)
+				br.Reset(r)
+				if _, err := ReadResponse(br); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadResponsePooled(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			enc, err := AppendResponse(nil, &Response{
+				ID: 1, Status: StatusOK, Value: bytes.Repeat([]byte{1}, size),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool := bufpool.New()
+			r := bytes.NewReader(enc)
+			br := bufio.NewReaderSize(r, 64<<10)
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				r.Reset(enc)
+				br.Reset(r)
+				resp, err := ReadResponsePooled(br, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Release()
+			}
+		})
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"hash/crc32"
 	"sync/atomic"
 	"time"
+
+	"ecstore/internal/bufpool"
 )
 
 // stripeCounter disambiguates stripe IDs minted in the same clock
@@ -38,7 +40,21 @@ var ErrChunkCorrupt = fmt.Errorf("%w: chunk CRC mismatch", ErrMalformed)
 // stripe ID of the write that produced it, and a CRC32 of the chunk
 // bytes for end-to-end corruption detection.
 func EncodeChunkPayload(meta ECMeta, chunk []byte) []byte {
-	out := make([]byte, chunkHeaderLen+len(chunk))
+	return encodeChunkPayload(make([]byte, chunkHeaderLen+len(chunk)), meta, chunk)
+}
+
+// EncodeChunkPayloadPooled is EncodeChunkPayload into a buffer leased
+// from pool. The caller owns the returned buffer and hands it back —
+// typically by setting Request.ValuePool so the wire layer releases it
+// once the frame is written. A nil pool falls back to plain allocation.
+func EncodeChunkPayloadPooled(pool *bufpool.Pool, meta ECMeta, chunk []byte) []byte {
+	if pool == nil {
+		return EncodeChunkPayload(meta, chunk)
+	}
+	return encodeChunkPayload(pool.GetRaw(chunkHeaderLen+len(chunk)), meta, chunk)
+}
+
+func encodeChunkPayload(out []byte, meta ECMeta, chunk []byte) []byte {
 	out[0] = chunkMagic
 	out[1] = meta.ChunkIndex
 	out[2] = meta.K

@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/bufpool"
+)
+
+// mustBalance fails the test unless every buffer leased from p has
+// been returned — the core lease-lifecycle invariant of the pooled
+// wire path.
+func mustBalance(t *testing.T, p *bufpool.Pool) {
+	t.Helper()
+	st := p.Stats()
+	if st.Gets != st.Puts {
+		t.Fatalf("pool lease imbalance: %d gets vs %d puts", st.Gets, st.Puts)
+	}
+}
+
+func TestEncodeRequestFrameInlineMatchesAppend(t *testing.T) {
+	p := bufpool.New()
+	req := &Request{
+		ID: 7, Op: OpSet, Key: "k", Value: []byte("small value"),
+		TTLSeconds: 3, Meta: ECMeta{K: 3, M: 2, TotalLen: 11},
+	}
+	want, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EncodeRequestFrame(p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, val := f.Vectors(); val != nil {
+		t.Fatalf("value below threshold must be inlined, got %d-byte vector", len(val))
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("framed bytes differ from AppendRequest")
+	}
+	f.Release()
+	f.Release() // idempotent
+	mustBalance(t, p)
+}
+
+func TestEncodeRequestFrameVectoredTransfersLease(t *testing.T) {
+	p := bufpool.New()
+	value := p.GetRaw(FrameInlineThreshold + 1)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	req := &Request{ID: 9, Op: OpSetChunk, Key: "big", Value: value, ValuePool: p}
+	want, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EncodeRequestFrame(p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ValuePool != nil {
+		t.Fatal("frame must take ownership of the value lease")
+	}
+	if _, val := f.Vectors(); len(val) != FrameInlineThreshold+1 {
+		t.Fatalf("large value must ride as its own vector, got %d bytes", len(val))
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("framed bytes differ from AppendRequest")
+	}
+	f.Release()
+	mustBalance(t, p)
+}
+
+func TestEncodeRequestFrameInlineReleasesValueLease(t *testing.T) {
+	p := bufpool.New()
+	value := p.GetRaw(100)
+	req := &Request{ID: 1, Op: OpSet, Key: "k", Value: value, ValuePool: p}
+	f, err := EncodeRequestFrame(p, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	mustBalance(t, p) // the inlined value's lease went straight back
+}
+
+func TestEncodeRequestFrameErrorReleasesValueLease(t *testing.T) {
+	p := bufpool.New()
+	value := p.GetRaw(64)
+	req := &Request{ID: 1, Op: OpSet, Key: string(make([]byte, MaxKeyLen+1)), Value: value, ValuePool: p}
+	if _, err := EncodeRequestFrame(p, req); err == nil {
+		t.Fatal("expected oversized-key error")
+	}
+	mustBalance(t, p)
+}
+
+func TestEncodeResponseFrameRoundTrip(t *testing.T) {
+	p := bufpool.New()
+	for _, n := range []int{0, 10, FrameInlineThreshold, FrameInlineThreshold + 1, 1 << 20} {
+		resp := &Response{ID: 3, Status: StatusOK, Value: bytes.Repeat([]byte{0xAB}, n),
+			Meta: ECMeta{K: 3, M: 2, TotalLen: uint32(n)}}
+		want, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := EncodeResponseFrame(p, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := f.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("value len %d: framed bytes differ from AppendResponse", n)
+		}
+		f.Release()
+		got, err := ReadResponsePooled(bufio.NewReader(&buf), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != resp.Status || got.Meta != resp.Meta || !bytes.Equal(got.Value, resp.Value) {
+			t.Fatalf("value len %d: round trip mismatch", n)
+		}
+		got.Release()
+		got.Release() // idempotent
+	}
+	mustBalance(t, p)
+}
+
+func TestReadRequestPooledRoundTrip(t *testing.T) {
+	p := bufpool.New()
+	req := &Request{
+		ID: 11, Op: OpSetChunk, Key: "chunk/0", Value: bytes.Repeat([]byte{7}, 100_000),
+		TTLSeconds: 9, Meta: ECMeta{ChunkIndex: 2, K: 3, M: 2, TotalLen: 100_000, Stripe: 42},
+	}
+	buf, err := AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequestPooled(bufio.NewReader(bytes.NewReader(buf)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || got.Key != req.Key || got.Meta != req.Meta || !bytes.Equal(got.Value, req.Value) {
+		t.Fatal("round trip mismatch")
+	}
+	got.Release()
+	mustBalance(t, p)
+}
+
+func TestEncodeChunkPayloadPooledMatchesUnpooled(t *testing.T) {
+	p := bufpool.New()
+	meta := ECMeta{ChunkIndex: 1, K: 3, M: 2, TotalLen: 99, Stripe: 1234}
+	chunk := bytes.Repeat([]byte{0xCD}, 999)
+	want := EncodeChunkPayload(meta, chunk)
+	got := EncodeChunkPayloadPooled(p, meta, chunk)
+	if !bytes.Equal(want, got) {
+		t.Fatal("pooled chunk payload differs")
+	}
+	p.Put(got)
+	mustBalance(t, p)
+}
+
+// gateWriter blocks each Write until released, letting tests pile
+// frames into the queue behind an in-flight batch.
+type gateWriter struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	gate chan struct{}
+}
+
+func (w *gateWriter) Write(b []byte) (int, error) {
+	if w.gate != nil {
+		<-w.gate
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(b)
+}
+
+func (w *gateWriter) bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf.Bytes()...)
+}
+
+func TestFrameQueueWritesAllFramesAndCoalesces(t *testing.T) {
+	p := bufpool.New()
+	w := &gateWriter{gate: make(chan struct{})}
+	q := NewFrameQueue(w, 64, p, nil)
+
+	const frames = 24
+	var want bytes.Buffer
+	for i := 0; i < frames; i++ {
+		// Mix inline and vectored frames so coalescing crosses both.
+		size := 64
+		if i%5 == 0 {
+			size = FrameInlineThreshold + 100
+		}
+		req := &Request{ID: uint64(i + 1), Op: OpSet, Key: fmt.Sprintf("k%d", i),
+			Value: bytes.Repeat([]byte{byte(i)}, size)}
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(enc)
+		f, err := EncodeRequestFrame(p, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Enqueue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(w.gate) // release the writer; everything drains
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.bytes(); !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("queue output differs: %d bytes vs %d expected", len(got), want.Len())
+	}
+	batches, written := q.Stats()
+	if written != frames {
+		t.Fatalf("wrote %d frames, want %d", written, frames)
+	}
+	if batches >= written {
+		t.Fatalf("no coalescing happened: %d batches for %d frames", batches, written)
+	}
+	mustBalance(t, p)
+}
+
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("wire down") }
+
+func TestFrameQueueErrorReleasesEverything(t *testing.T) {
+	p := bufpool.New()
+	errc := make(chan error, 1)
+	q := NewFrameQueue(errWriter{}, 4, p, func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	})
+	var enqErr error
+	for i := 0; i < 32; i++ {
+		f, err := EncodeRequestFrame(p, &Request{ID: uint64(i + 1), Op: OpSet, Key: "k",
+			Value: bytes.Repeat([]byte{1}, FrameInlineThreshold*2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Enqueue(f); err != nil {
+			enqErr = err // frame already released by Enqueue
+		}
+	}
+	select {
+	case <-errc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onError never fired")
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if enqErr == nil {
+		// Depending on timing every Enqueue may have squeaked in before
+		// the first write failed; the post-Close enqueue must not.
+		f, err := EncodeRequestFrame(p, &Request{ID: 99, Op: OpSet, Key: "k"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Enqueue(f); err == nil {
+			t.Fatal("enqueue after close must fail")
+		}
+	}
+	mustBalance(t, p)
+}
+
+func TestFrameQueueCloseDrainsQueued(t *testing.T) {
+	p := bufpool.New()
+	var w gateWriter
+	q := NewFrameQueue(&w, 64, p, nil)
+	for i := 0; i < 10; i++ {
+		f, err := EncodeRequestFrame(p, &Request{ID: uint64(i + 1), Op: OpGet, Key: "k"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Enqueue(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(bytes.NewReader(w.bytes()))
+	for i := 0; i < 10; i++ {
+		if _, err := ReadRequest(br); err != nil {
+			t.Fatalf("frame %d unreadable after close-drain: %v", i, err)
+		}
+	}
+	mustBalance(t, p)
+}

@@ -4,7 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"testing"
+
+	"ecstore/internal/bufpool"
 )
+
+// pooledRange reports whether a frame of n bytes stays within the
+// pool's size classes; larger leases fall back to plain allocation and
+// are deliberately never retained by Put, so the get/put balance
+// assertion only holds below the largest class.
+func pooledRange(n int) bool { return n <= 4<<20 }
 
 // FuzzReadRequest drives the request frame parser with arbitrary
 // bytes: it must never panic and any frame that decodes must re-encode
@@ -38,6 +46,34 @@ func FuzzReadRequest(f *testing.F) {
 			again.Meta != req.Meta || !bytes.Equal(again.Value, req.Value) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", req, again)
 		}
+
+		// The pooled/vectored path must produce byte-identical frames
+		// and return every lease it takes.
+		pool := bufpool.New()
+		frame, err := EncodeRequestFrame(pool, req)
+		if err != nil {
+			t.Fatalf("pooled encode of accepted request failed: %v", err)
+		}
+		var vbuf bytes.Buffer
+		if _, err := frame.WriteTo(&vbuf); err != nil {
+			t.Fatalf("frame write failed: %v", err)
+		}
+		frame.Release()
+		if !bytes.Equal(vbuf.Bytes(), out) {
+			t.Fatalf("vectored frame differs from AppendRequest output")
+		}
+		pooled, err := ReadRequestPooled(bufio.NewReader(&vbuf), pool)
+		if err != nil {
+			t.Fatalf("pooled re-decode failed: %v", err)
+		}
+		if pooled.Op != req.Op || pooled.Key != req.Key || pooled.Meta != req.Meta ||
+			!bytes.Equal(pooled.Value, req.Value) {
+			t.Fatalf("pooled round trip mismatch")
+		}
+		pooled.Release()
+		if st := pool.Stats(); pooledRange(len(out)) && st.Gets != st.Puts {
+			t.Fatalf("pool lease imbalance: %d gets vs %d puts", st.Gets, st.Puts)
+		}
 	})
 }
 
@@ -66,6 +102,31 @@ func FuzzReadResponse(f *testing.F) {
 		}
 		if again.Status != resp.Status || again.Meta != resp.Meta || !bytes.Equal(again.Value, resp.Value) {
 			t.Fatalf("round trip mismatch")
+		}
+
+		pool := bufpool.New()
+		frame, err := EncodeResponseFrame(pool, resp)
+		if err != nil {
+			t.Fatalf("pooled encode failed: %v", err)
+		}
+		var vbuf bytes.Buffer
+		if _, err := frame.WriteTo(&vbuf); err != nil {
+			t.Fatalf("frame write failed: %v", err)
+		}
+		frame.Release()
+		if !bytes.Equal(vbuf.Bytes(), out) {
+			t.Fatalf("vectored frame differs from AppendResponse output")
+		}
+		pooled, err := ReadResponsePooled(bufio.NewReader(&vbuf), pool)
+		if err != nil {
+			t.Fatalf("pooled re-decode failed: %v", err)
+		}
+		if pooled.Status != resp.Status || pooled.Meta != resp.Meta || !bytes.Equal(pooled.Value, resp.Value) {
+			t.Fatalf("pooled round trip mismatch")
+		}
+		pooled.Release()
+		if st := pool.Stats(); pooledRange(len(out)) && st.Gets != st.Puts {
+			t.Fatalf("pool lease imbalance: %d gets vs %d puts", st.Gets, st.Puts)
 		}
 	})
 }

@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"ecstore/internal/bufpool"
+)
+
+// ErrQueueClosed is returned by FrameQueue.Enqueue after Close, or
+// after the underlying writer has failed.
+var ErrQueueClosed = errors.New("wire: frame queue closed")
+
+// coalesceLimit is the largest vector the batch writer will merge into
+// its contiguous scratch buffer. Vectors up to this size are memcpy'd
+// together so a batch of small frames goes out as one (or few) write
+// vectors; larger vectors (big values) are passed through untouched —
+// for those the copy would cost more than the extra iovec.
+const coalesceLimit = 8 << 10
+
+// FrameQueue serializes encoded frames onto a connection through a
+// dedicated writer goroutine. Callers enqueue fully encoded Frames
+// (no encoding happens under any queue lock); the writer drains
+// everything queued since its last flush and writes the whole batch as
+// one vectored write. With an ARPE-style window of in-flight chunk
+// operations this coalesces the K+M frame writes of a Set into a
+// handful of syscalls instead of one flush per frame.
+//
+// Ownership: a successful Enqueue transfers frame ownership to the
+// queue — the writer releases each frame's pooled buffers after the
+// batch is written (or when the queue shuts down). On Enqueue error
+// the frame is released before returning, so callers never release
+// frames themselves.
+type FrameQueue struct {
+	w    io.Writer
+	pool *bufpool.Pool
+
+	// onError, if non-nil, is invoked once — on a fresh goroutine, so it
+	// may call back into Close — with the first write error; subsequent
+	// Enqueues fail with that error.
+	onError func(error)
+
+	mu      sync.Mutex
+	data    sync.Cond // signaled when queued frames or close arrive
+	space   sync.Cond // signaled when the writer drains the queue
+	queued  []Frame
+	standby []Frame // writer's drained batch, swapped back as next queued backing
+	max     int
+	closed  bool
+	err     error
+	done    chan struct{}
+
+	batches, frames uint64 // flush stats (guarded by mu)
+}
+
+// NewFrameQueue starts a writer goroutine draining frames onto w.
+// maxQueued bounds the number of undrained frames (Enqueue blocks when
+// full, providing backpressure); values < 1 default to 64. pool is the
+// scratch-buffer source for write coalescing (nil disables coalescing).
+// Close must be called to stop the writer.
+func NewFrameQueue(w io.Writer, maxQueued int, pool *bufpool.Pool, onError func(error)) *FrameQueue {
+	if maxQueued < 1 {
+		maxQueued = 64
+	}
+	q := &FrameQueue{
+		w:       w,
+		pool:    pool,
+		onError: onError,
+		max:     maxQueued,
+		done:    make(chan struct{}),
+	}
+	q.data.L = &q.mu
+	q.space.L = &q.mu
+	go q.run()
+	return q
+}
+
+// Enqueue hands a frame to the writer, blocking while the queue is
+// full. On success the queue owns the frame; on error the frame has
+// already been released.
+func (q *FrameQueue) Enqueue(f Frame) error {
+	q.mu.Lock()
+	for !q.closed && q.err == nil && len(q.queued) >= q.max {
+		q.space.Wait()
+	}
+	if q.closed || q.err != nil {
+		err := q.err
+		q.mu.Unlock()
+		f.Release()
+		if err != nil {
+			return err
+		}
+		return ErrQueueClosed
+	}
+	q.queued = append(q.queued, f)
+	q.data.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// Close stops the writer after it drains frames already queued, then
+// waits for it to exit. Safe to call more than once.
+func (q *FrameQueue) Close() error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.data.Broadcast()
+		q.space.Broadcast()
+	}
+	q.mu.Unlock()
+	<-q.done
+	return nil
+}
+
+// Stats returns the number of batch flushes and frames written so far;
+// frames/batches is the achieved coalescing factor.
+func (q *FrameQueue) Stats() (batches, frames uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.batches, q.frames
+}
+
+func (q *FrameQueue) run() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.queued) == 0 && !q.closed && q.err == nil {
+			q.data.Wait()
+		}
+		if q.err != nil || (q.closed && len(q.queued) == 0) {
+			// Release anything that slipped in after the error.
+			for i := range q.queued {
+				q.queued[i].Release()
+			}
+			q.queued = q.queued[:0]
+			q.mu.Unlock()
+			return
+		}
+		// Swap the queued batch out so Enqueue can refill while we
+		// write without holding the lock.
+		batch := q.queued
+		q.queued = q.standby[:0]
+		q.standby = batch
+		q.space.Broadcast()
+		q.mu.Unlock()
+
+		err := q.writeBatch(batch)
+		for i := range batch {
+			batch[i].Release()
+		}
+
+		q.mu.Lock()
+		if err == nil {
+			q.batches++
+			q.frames += uint64(len(batch))
+		} else if q.err == nil {
+			q.err = err
+			q.data.Broadcast()
+			q.space.Broadcast()
+		}
+		q.mu.Unlock()
+		if err != nil && q.onError != nil {
+			go q.onError(err)
+		}
+	}
+}
+
+// writeBatch writes every frame in batch as a single vectored write,
+// coalescing runs of small vectors into a pooled scratch buffer. The
+// scratch is sized in a first pass before any bytes are copied, so
+// appends can never reallocate it and invalidate aliases already in
+// the iovec list.
+func (q *FrameQueue) writeBatch(batch []Frame) error {
+	if len(batch) == 1 && q.pool == nil {
+		_, err := batch[0].WriteTo(q.w)
+		return err
+	}
+
+	// Pass 1: total bytes of coalescable (small) vectors.
+	small := 0
+	nvec := 0
+	for i := range batch {
+		h, v := batch[i].Vectors()
+		if len(h) <= coalesceLimit {
+			small += len(h)
+		} else {
+			nvec++
+		}
+		if len(v) > 0 {
+			if len(v) <= coalesceLimit {
+				small += len(v)
+			} else {
+				nvec++
+			}
+		}
+	}
+
+	var scratch []byte
+	if small > 0 && q.pool != nil {
+		scratch = q.pool.GetRaw(small)[:0]
+	}
+
+	// Pass 2: build the iovec list. Consecutive small vectors are
+	// appended to scratch; each run becomes one vector aliasing the
+	// scratch region it occupies. scratch never grows past its leased
+	// capacity, so earlier aliases stay valid.
+	bufs := make(net.Buffers, 0, nvec+len(batch))
+	runStart := 0
+	flushRun := func() {
+		if len(scratch) > runStart {
+			bufs = append(bufs, scratch[runStart:len(scratch):len(scratch)])
+			runStart = len(scratch)
+		}
+	}
+	addVec := func(b []byte) {
+		if len(b) == 0 {
+			return
+		}
+		if scratch != nil && len(b) <= coalesceLimit {
+			scratch = append(scratch, b...)
+			return
+		}
+		flushRun()
+		bufs = append(bufs, b)
+	}
+	for i := range batch {
+		h, v := batch[i].Vectors()
+		addVec(h)
+		addVec(v)
+	}
+	flushRun()
+
+	var err error
+	if len(bufs) == 1 {
+		_, err = q.w.Write(bufs[0])
+	} else if len(bufs) > 1 {
+		_, err = bufs.WriteTo(q.w)
+	}
+	if scratch != nil {
+		q.pool.Put(scratch)
+	}
+	return err
+}

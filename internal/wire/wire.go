@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
+
+	"ecstore/internal/bufpool"
 )
 
 // Op identifies a request type.
@@ -159,6 +162,48 @@ type Request struct {
 	TTLSeconds uint32
 	// Meta carries EC metadata for chunk and encode/decode ops.
 	Meta ECMeta
+
+	// ValuePool, when non-nil, marks Value as a buffer leased from that
+	// pool whose ownership transfers to the wire layer with the request:
+	// the frame encoder either copies the value (small values are
+	// inlined into the header buffer) and releases the lease
+	// immediately, or carries the buffer as a scatter-gather vector and
+	// releases it once the frame has been written or abandoned. Senders
+	// that pass a ValuePool must not touch Value after handing the
+	// request to rpc.Pool.Send — on success OR failure.
+	ValuePool *bufpool.Pool
+
+	// lease/pool back a pooled read: Value aliases lease, which Release
+	// returns to pool.
+	lease []byte
+	pool  *bufpool.Pool
+}
+
+// Release returns the pooled frame body a ReadRequestPooled call leased
+// (Value aliases it) to its pool. It is a safe no-op for requests that
+// were not read in pooled mode, and idempotent for those that were.
+// Key is a copy and survives Release; Value must not be used after.
+func (r *Request) Release() {
+	if r == nil || r.lease == nil {
+		return
+	}
+	lease := r.lease
+	r.lease, r.Value = nil, nil
+	r.pool.Put(lease)
+}
+
+// ReleaseValue returns the write-side value lease (ValuePool) without
+// sending the request. The rpc layer calls it on failure paths that
+// give up before the frame encoder could take ownership; it is a safe
+// no-op when no lease is attached.
+func (r *Request) ReleaseValue() {
+	if r == nil || r.ValuePool == nil {
+		return
+	}
+	pool := r.ValuePool
+	r.ValuePool = nil
+	pool.Put(r.Value)
+	r.Value = nil
 }
 
 // Response is a server-to-client message.
@@ -173,6 +218,25 @@ type Response struct {
 	// Meta echoes/propagates EC metadata (a Get of a chunk returns
 	// the chunk's stored metadata so the client can decode).
 	Meta ECMeta
+
+	// lease/pool back a pooled read: Value aliases lease, which Release
+	// returns to pool.
+	lease []byte
+	pool  *bufpool.Pool
+}
+
+// Release returns the pooled frame body a ReadResponsePooled call
+// leased (Value aliases it) to its pool. It is a safe no-op for
+// responses that were not read in pooled mode, and idempotent for
+// those that were. Value must not be used after Release; copy first if
+// it escapes (e.g. is returned to an application caller).
+func (r *Response) Release() {
+	if r == nil || r.lease == nil {
+		return
+	}
+	lease := r.lease
+	r.lease, r.Value = nil, nil
+	r.pool.Put(lease)
 }
 
 // Err converts an error response into a Go error (nil for StatusOK and
@@ -234,14 +298,23 @@ const (
 	respHeaderLen = 8 + 1 + 1 + 1 + 1 + 4 + 8 + 4
 )
 
-// AppendRequest serializes req onto buf and returns the extended slice.
-func AppendRequest(buf []byte, req *Request) ([]byte, error) {
+// checkRequestSize validates req against the frame limits.
+func checkRequestSize(req *Request) error {
 	if len(req.Key) > MaxKeyLen {
-		return nil, fmt.Errorf("%w: key %d bytes", ErrFrameTooLarge, len(req.Key))
+		return fmt.Errorf("%w: key %d bytes", ErrFrameTooLarge, len(req.Key))
 	}
 	if len(req.Value) > MaxValueLen {
-		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooLarge, len(req.Value))
+		return fmt.Errorf("%w: value %d bytes", ErrFrameTooLarge, len(req.Value))
 	}
+	return nil
+}
+
+// appendRequestHeader appends the length prefix, fixed header, and key
+// — everything up to (but not including) the value bytes. The encoded
+// valueLen field covers len(req.Value) whether or not the caller
+// appends the value to the same buffer or transmits it as a separate
+// scatter-gather vector.
+func appendRequestHeader(buf []byte, req *Request) []byte {
 	frameLen := reqHeaderLen + len(req.Key) + len(req.Value)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(frameLen))
 	buf = binary.BigEndian.AppendUint64(buf, req.ID)
@@ -252,9 +325,20 @@ func AppendRequest(buf []byte, req *Request) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint64(buf, req.Meta.Stripe)
 	buf = binary.BigEndian.AppendUint32(buf, req.TTLSeconds)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Value)))
-	buf = append(buf, req.Key...)
-	buf = append(buf, req.Value...)
-	return buf, nil
+	return append(buf, req.Key...)
+}
+
+// AppendRequest serializes req onto buf and returns the extended
+// slice. The exact frame size is known up front, so buf is grown once
+// to its final capacity instead of reallocating through repeated
+// append growth.
+func AppendRequest(buf []byte, req *Request) ([]byte, error) {
+	if err := checkRequestSize(req); err != nil {
+		return nil, err
+	}
+	buf = slices.Grow(buf, 4+reqHeaderLen+len(req.Key)+len(req.Value))
+	buf = appendRequestHeader(buf, req)
+	return append(buf, req.Value...), nil
 }
 
 // WriteRequest writes one request frame to w.
@@ -267,12 +351,9 @@ func WriteRequest(w io.Writer, req *Request) error {
 	return err
 }
 
-// ReadRequest reads one request frame from r.
-func ReadRequest(r *bufio.Reader) (*Request, error) {
-	body, err := readFrame(r, reqHeaderLen)
-	if err != nil {
-		return nil, err
-	}
+// parseRequest decodes a request frame body. With copyValue the value
+// is copied out of body; otherwise it aliases body (pooled mode).
+func parseRequest(body []byte, copyValue bool) (*Request, error) {
 	req := &Request{
 		ID: binary.BigEndian.Uint64(body[0:8]),
 		Op: Op(body[8]),
@@ -295,17 +376,51 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 	}
 	req.Key = string(body[reqHeaderLen : reqHeaderLen+keyLen])
 	if valueLen > 0 {
-		req.Value = append([]byte(nil), body[reqHeaderLen+keyLen:]...)
+		if copyValue {
+			req.Value = append([]byte(nil), body[reqHeaderLen+keyLen:]...)
+		} else {
+			req.Value = body[reqHeaderLen+keyLen:]
+		}
 	}
 	return req, nil
 }
 
-// AppendResponse serializes resp onto buf and returns the extended
-// slice.
-func AppendResponse(buf []byte, resp *Response) ([]byte, error) {
-	if len(resp.Value) > MaxValueLen {
-		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooLarge, len(resp.Value))
+// ReadRequest reads one request frame from r. The returned request
+// owns its memory (the value is copied out of the frame buffer).
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	body, err := readFrame(r, reqHeaderLen)
+	if err != nil {
+		return nil, err
 	}
+	return parseRequest(body, true)
+}
+
+// ReadRequestPooled reads one request frame into a buffer leased from
+// pool; the returned request's Value aliases that buffer. The caller
+// must call Request.Release once it is done with the value — typically
+// after the store has copied it — to hand the buffer back for the next
+// frame. A nil pool falls back to ReadRequest. On error no lease is
+// retained.
+func ReadRequestPooled(r *bufio.Reader, pool *bufpool.Pool) (*Request, error) {
+	if pool == nil {
+		return ReadRequest(r)
+	}
+	body, err := readFramePooled(r, reqHeaderLen, pool)
+	if err != nil {
+		return nil, err
+	}
+	req, err := parseRequest(body, false)
+	if err != nil {
+		pool.Put(body)
+		return nil, err
+	}
+	req.lease, req.pool = body, pool
+	return req, nil
+}
+
+// appendResponseHeader appends the length prefix and fixed header —
+// everything up to (but not including) the value bytes.
+func appendResponseHeader(buf []byte, resp *Response) []byte {
 	frameLen := respHeaderLen + len(resp.Value)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(frameLen))
 	buf = binary.BigEndian.AppendUint64(buf, resp.ID)
@@ -313,9 +428,18 @@ func AppendResponse(buf []byte, resp *Response) ([]byte, error) {
 	buf = append(buf, resp.Meta.ChunkIndex, resp.Meta.K, resp.Meta.M)
 	buf = binary.BigEndian.AppendUint32(buf, resp.Meta.TotalLen)
 	buf = binary.BigEndian.AppendUint64(buf, resp.Meta.Stripe)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(resp.Value)))
-	buf = append(buf, resp.Value...)
-	return buf, nil
+	return binary.BigEndian.AppendUint32(buf, uint32(len(resp.Value)))
+}
+
+// AppendResponse serializes resp onto buf and returns the extended
+// slice, growing buf once to the exact frame size.
+func AppendResponse(buf []byte, resp *Response) ([]byte, error) {
+	if len(resp.Value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooLarge, len(resp.Value))
+	}
+	buf = slices.Grow(buf, 4+respHeaderLen+len(resp.Value))
+	buf = appendResponseHeader(buf, resp)
+	return append(buf, resp.Value...), nil
 }
 
 // WriteResponse writes one response frame to w.
@@ -328,12 +452,9 @@ func WriteResponse(w io.Writer, resp *Response) error {
 	return err
 }
 
-// ReadResponse reads one response frame from r.
-func ReadResponse(r *bufio.Reader) (*Response, error) {
-	body, err := readFrame(r, respHeaderLen)
-	if err != nil {
-		return nil, err
-	}
+// parseResponse decodes a response frame body. With copyValue the
+// value is copied out of body; otherwise it aliases body (pooled mode).
+func parseResponse(body []byte, copyValue bool) (*Response, error) {
 	resp := &Response{
 		ID:     binary.BigEndian.Uint64(body[0:8]),
 		Status: Status(body[8]),
@@ -353,13 +474,57 @@ func ReadResponse(r *bufio.Reader) (*Response, error) {
 		return nil, fmt.Errorf("%w: frame length mismatch", ErrMalformed)
 	}
 	if valueLen > 0 {
-		resp.Value = append([]byte(nil), body[respHeaderLen:]...)
+		if copyValue {
+			resp.Value = append([]byte(nil), body[respHeaderLen:]...)
+		} else {
+			resp.Value = body[respHeaderLen:]
+		}
 	}
+	return resp, nil
+}
+
+// ReadResponse reads one response frame from r. The returned response
+// owns its memory (the value is copied out of the frame buffer).
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	body, err := readFrame(r, respHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	return parseResponse(body, true)
+}
+
+// ReadResponsePooled reads one response frame into a buffer leased
+// from pool; the returned response's Value aliases that buffer. The
+// consumer must call Response.Release once the value has been decoded
+// or copied out — on every path, including errors — to hand the buffer
+// back. A nil pool falls back to ReadResponse. On error no lease is
+// retained.
+func ReadResponsePooled(r *bufio.Reader, pool *bufpool.Pool) (*Response, error) {
+	if pool == nil {
+		return ReadResponse(r)
+	}
+	body, err := readFramePooled(r, respHeaderLen, pool)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := parseResponse(body, false)
+	if err != nil {
+		pool.Put(body)
+		return nil, err
+	}
+	resp.lease, resp.pool = body, pool
 	return resp, nil
 }
 
 // readFrame reads the length prefix and frame body, enforcing limits.
 func readFrame(r *bufio.Reader, minLen int) ([]byte, error) {
+	return readFramePooled(r, minLen, nil)
+}
+
+// readFramePooled is readFrame with the body drawn from pool (plain
+// allocation when pool is nil). On error the buffer is returned to the
+// pool before the call returns.
+func readFramePooled(r *bufio.Reader, minLen int, pool *bufpool.Pool) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err // io.EOF on clean close
@@ -371,8 +536,16 @@ func readFrame(r *bufio.Reader, minLen int) ([]byte, error) {
 	if frameLen > MaxValueLen+MaxKeyLen+reqHeaderLen {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, frameLen)
+	var body []byte
+	if pool != nil {
+		body = pool.GetRaw(frameLen)
+	} else {
+		body = make([]byte, frameLen)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
+		if pool != nil {
+			pool.Put(body)
+		}
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
