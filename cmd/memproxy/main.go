@@ -42,6 +42,7 @@ func run() error {
 	opTimeout := flag.Duration("op-timeout", 0, "per-RPC deadline (0 = default 15s, negative disables)")
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
+	maxItemSize := flag.Int("max-item-size", memproto.DefaultMaxItemSize, "largest item accepted over the memcached protocol, in bytes")
 	metricsAddr := flag.String("metrics-addr", "", "serve proxy-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
 	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof profiles under http://<metrics-addr>/debug/pprof/")
 	scrubInterval := flag.Duration("scrub-interval", 0, "run the anti-entropy scrubber at this period (0 = disabled)")
@@ -109,7 +110,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := memproto.Serve(ln, &memproto.ClusterBackend{Client: client, StatsAddrs: addrs})
+	srv := memproto.Serve(ln, &memproto.ClusterBackend{Client: client, StatsAddrs: addrs},
+		memproto.WithMaxItemSize(*maxItemSize),
+		memproto.WithMetrics(client.Metrics()),
+		memproto.WithVersion("ecstore-memproxy"))
 	log.Printf("memproxy: memcached protocol on %s -> %d kv servers (%s)", srv.Addr(), len(addrs), *mode)
 
 	sig := make(chan os.Signal, 1)

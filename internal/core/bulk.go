@@ -14,31 +14,54 @@ func (c *Client) MSet(pairs map[string][]byte) error {
 	return WaitAll(futures...)
 }
 
-// MGet fetches every key with pipelined non-blocking reads. The
-// result holds the keys that were found; keys that do not exist are
-// simply absent. The error reports the first infrastructure failure
-// (ErrUnavailable etc.) — ErrNotFound is not an error for MGet.
-func (c *Client) MGet(keys []string) (map[string][]byte, error) {
+// MGetItems fetches every key with pipelined non-blocking reads,
+// returning the items found plus a per-key error map for the keys
+// whose state could not be determined (ErrUnavailable etc.). A key in
+// neither map is authoritatively absent. The split is what lets a
+// caller — the memcached proxy above all — answer a multi-get with an
+// error for an unreachable key instead of a silent miss that a cache
+// filler would then treat as permission to overwrite.
+func (c *Client) MGetItems(keys []string) (map[string]Item, map[string]error) {
 	futures := make([]*Future, len(keys))
 	for i, key := range keys {
 		futures[i] = c.IGet(key)
 	}
-	out := make(map[string][]byte, len(keys))
-	var firstErr error
+	found := make(map[string]Item, len(keys))
+	var failed map[string]error
 	for i, f := range futures {
-		v, err := f.Wait()
+		item, err := f.WaitItem()
 		switch {
 		case err == nil:
-			out[keys[i]] = v
+			found[keys[i]] = item
 		case errors.Is(err, ErrNotFound):
 			// absent key: not an error for a bulk read
 		default:
-			if firstErr == nil {
-				firstErr = err
+			if failed == nil {
+				failed = make(map[string]error)
 			}
+			failed[keys[i]] = err
 		}
 	}
-	return out, firstErr
+	return found, failed
+}
+
+// MGet fetches every key with pipelined non-blocking reads. The
+// result holds the keys that were found; keys that do not exist are
+// simply absent. The error reports the first infrastructure failure
+// in key order (ErrUnavailable etc.) — ErrNotFound is not an error for
+// MGet. Callers that need to know WHICH keys failed use MGetItems.
+func (c *Client) MGet(keys []string) (map[string][]byte, error) {
+	found, failed := c.MGetItems(keys)
+	out := make(map[string][]byte, len(found))
+	for k, item := range found {
+		out[k] = item.Value
+	}
+	for _, k := range keys {
+		if err, ok := failed[k]; ok {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // MDelete removes every key, pipelined. All deletes are attempted; the

@@ -25,6 +25,10 @@ var (
 	ErrUnavailable = errors.New("core: not enough servers available")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("core: client is closed")
+	// ErrCASConflict is returned by Cas when the stored version no
+	// longer matches the token (someone wrote in between), and by Add
+	// when the key already exists.
+	ErrCASConflict = errors.New("core: cas conflict")
 )
 
 // Client is the resilient key-value store client. It is safe for
@@ -91,10 +95,13 @@ func newOpMetrics(reg *metrics.Registry, op string) *opMetrics {
 
 // strategy executes whole operations under a resilience scheme. The
 // implementations run inside ARPE goroutines, so they may block.
+// set and compareSet return the version installed for the write (the
+// CAS token later reads report); get returns the full item.
 type strategy interface {
-	set(key string, value []byte, ttl time.Duration) error
-	get(key string) ([]byte, error)
+	set(key string, value []byte, ttl time.Duration) (uint64, error)
+	get(key string) (Item, error)
 	del(key string) error
+	compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error)
 }
 
 // New returns a Client for the given configuration.
@@ -119,6 +126,7 @@ func New(cfg Config) (*Client, error) {
 			"set":    newOpMetrics(reg, "set"),
 			"get":    newOpMetrics(reg, "get"),
 			"delete": newOpMetrics(reg, "delete"),
+			"cas":    newOpMetrics(reg, "cas"),
 		},
 		mRetries:       reg.Counter("ecstore_client_retries_total"),
 		mDegraded:      reg.Counter("ecstore_client_degraded_reads_total"),
@@ -179,11 +187,11 @@ func (c *Client) Close() {
 // executes fn on its own goroutine, completing f when done. This is
 // what lets encode/decode computation of one operation overlap the
 // response-wait of others.
-func (c *Client) submit(f *Future, fn func() ([]byte, error)) *Future {
+func (c *Client) submit(f *Future, fn func() (Item, error)) *Future {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		f.complete(nil, ErrClosed)
+		f.complete(Item{}, ErrClosed)
 		return f
 	}
 	c.wg.Add(1)
@@ -202,9 +210,9 @@ func (c *Client) submit(f *Future, fn func() ([]byte, error)) *Future {
 // measured wraps an operation body with the per-op metrics: total and
 // error counters plus the end-to-end latency histogram (timed from
 // execution start, so the ARPE window wait is not charged to the op).
-func (c *Client) measured(op string, fn func() ([]byte, error)) func() ([]byte, error) {
+func (c *Client) measured(op string, fn func() (Item, error)) func() (Item, error) {
 	om := c.ops[op]
-	return func() ([]byte, error) {
+	return func() (Item, error) {
 		start := time.Now()
 		v, err := fn()
 		om.seconds.Record(time.Since(start))
@@ -229,15 +237,16 @@ func (c *Client) ISet(key string, value []byte) *Future {
 // live slightly longer than requested, never forever.
 func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
 	f := newFuture()
-	return c.submit(f, c.measured("set", func() ([]byte, error) {
-		return nil, c.strat.set(key, value, ttl)
+	return c.submit(f, c.measured("set", func() (Item, error) {
+		version, err := c.strat.set(key, value, ttl)
+		return Item{Version: version}, err
 	}))
 }
 
 // IGet fetches key without blocking (memcached_iget).
 func (c *Client) IGet(key string) *Future {
 	f := newFuture()
-	return c.submit(f, c.measured("get", func() ([]byte, error) {
+	return c.submit(f, c.measured("get", func() (Item, error) {
 		return c.strat.get(key)
 	}))
 }
@@ -245,8 +254,20 @@ func (c *Client) IGet(key string) *Future {
 // IDelete removes key without blocking.
 func (c *Client) IDelete(key string) *Future {
 	f := newFuture()
-	return c.submit(f, c.measured("delete", func() ([]byte, error) {
-		return nil, c.strat.del(key)
+	return c.submit(f, c.measured("delete", func() (Item, error) {
+		return Item{}, c.strat.del(key)
+	}))
+}
+
+// ICas conditionally stores value under key without blocking: the
+// write lands only if the stored version still equals cas (a token
+// from Gets). cas == 0 demands the key be absent — the memcached
+// `add`. On success the Future's item carries the new version.
+func (c *Client) ICas(key string, value []byte, ttl time.Duration, cas uint64) *Future {
+	f := newFuture()
+	return c.submit(f, c.measured("cas", func() (Item, error) {
+		version, err := c.strat.compareSet(key, value, ttl, cas)
+		return Item{Version: version}, err
 	}))
 }
 
@@ -273,6 +294,48 @@ func (c *Client) Get(key string) ([]byte, error) {
 func (c *Client) Delete(key string) error {
 	_, err := c.IDelete(key).Wait()
 	return err
+}
+
+// Gets returns the item stored under key with its CAS token and
+// remaining TTL — the memcached `gets`.
+func (c *Client) Gets(key string) (Item, error) {
+	return c.IGet(key).WaitItem()
+}
+
+// Cas stores value only if the current version still equals cas,
+// returning the new version on success. A lost race yields
+// ErrCASConflict; an absent key yields ErrNotFound.
+func (c *Client) Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error) {
+	item, err := c.ICas(key, value, ttl, cas).WaitItem()
+	return item.Version, err
+}
+
+// Add stores value only if key does not exist (memcached `add`). An
+// existing key yields ErrCASConflict.
+func (c *Client) Add(key string, value []byte, ttl time.Duration) (uint64, error) {
+	return c.Cas(key, value, ttl, wire.CompareAbsent)
+}
+
+// SetVersion is SetTTL returning the version the write installed, the
+// CAS token a subsequent Gets reports.
+func (c *Client) SetVersion(key string, value []byte, ttl time.Duration) (uint64, error) {
+	item, err := c.ISetTTL(key, value, ttl).WaitItem()
+	return item.Version, err
+}
+
+// FlushAll clears the item store of every configured server — the
+// memcached `flush_all`. All servers are attempted; the first error is
+// returned.
+func (c *Client) FlushAll() error {
+	var firstErr error
+	for _, addr := range c.cfg.Servers {
+		resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpFlush, Key: "flush"})
+		resp.Release()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: flush %s: %w", addr, err)
+		}
+	}
+	return firstErr
 }
 
 // Ping checks liveness of one server.

@@ -46,11 +46,11 @@ func (e *ecStrategy) clientDecodes() bool {
 	return e.scheme == SchemeCECD || e.scheme == SchemeSECD
 }
 
-func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
+func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, error) {
 	n := e.k + e.m
 	placement := e.c.placement(key, n)
 	if placement == nil {
-		return ErrUnavailable
+		return 0, ErrUnavailable
 	}
 	if !e.clientEncodes() {
 		return e.serverEncodeSet(key, value, ttl, placement)
@@ -66,7 +66,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 	defer ps.Release()
 	shards := ps.Shards
 	if err := e.code.Encode(shards); err != nil {
-		return err
+		return 0, err
 	}
 	encoded := time.Now()
 	e.c.instrument("set", phaseCode, encoded.Sub(start))
@@ -123,9 +123,110 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) error {
 		// Send failure), so exactly chunks [0, len(calls)) may have
 		// landed with this stripe ID.
 		e.unwindStripe(key, placement, meta.Stripe, len(calls))
-		return firstErr
+		return 0, firstErr
 	}
-	return nil
+	return meta.Stripe, nil
+}
+
+// compareSet implements the conditional write for erasure coding: the
+// stripe ID doubles as the version, and every chunk write is a
+// per-holder CompareSwap against the expected old stripe. The write is
+// always client-encoded, whatever the read/write scheme — the
+// conditional decision must happen at each chunk holder, which the
+// server-encode path cannot express.
+//
+// A holder whose chunk is missing (evicted, or crashed and restarted
+// empty) accepts the conditional write and reports prior version 0;
+// the stripe as a whole still existed if ANY holder reports the
+// expected prior, so a strict CAS succeeds across partial chunk loss
+// exactly when a plain Get would still have decoded the old value —
+// and the successful CAS re-materialises the lost chunks. When NO
+// holder held the old stripe the key is authoritatively absent:
+// the freshly written chunks are unwound and ErrNotFound returned.
+// Any holder answering StatusExists is a lost race: the new stripe is
+// unwound (stripe-conditional deletes, so a newer write is never
+// collateral damage) and ErrCASConflict returned.
+func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error) {
+	n := e.k + e.m
+	placement := e.c.placement(key, n)
+	if placement == nil {
+		return 0, ErrUnavailable
+	}
+	start := time.Now()
+	ps := erasure.SplitPooled(value, e.k, e.m, nil)
+	defer ps.Release()
+	shards := ps.Shards
+	if err := e.code.Encode(shards); err != nil {
+		return 0, err
+	}
+	encoded := time.Now()
+	e.c.instrument("cas", phaseCode, encoded.Sub(start))
+
+	meta := wire.ECMeta{
+		K:        uint8(e.k),
+		M:        uint8(e.m),
+		TotalLen: uint32(len(value)),
+		Stripe:   wire.NewStripeID(),
+	}
+	calls := make([]*rpc.Call, 0, n)
+	var firstErr error
+	for i, addr := range placement {
+		cm := meta
+		cm.ChunkIndex = uint8(i)
+		fp := e.c.pool.FramePool()
+		call, err := e.c.pool.Send(addr, &wire.Request{
+			Op:         wire.OpCompareSet,
+			Key:        wire.ChunkKey(key, i),
+			Value:      wire.EncodeChunkPayloadPooled(fp, cm, shards[i]),
+			ValuePool:  fp,
+			TTLSeconds: ttlSeconds(ttl),
+			Compare:    expect,
+			Meta:       cm,
+		})
+		if err != nil {
+			firstErr = fmt.Errorf("chunk %d to %s: %w", i, addr, err)
+			break
+		}
+		calls = append(calls, call)
+	}
+	issued := time.Now()
+	e.c.instrument("cas", phaseRequest, issued.Sub(encoded))
+	conflicts, priors := 0, 0
+	for i, call := range calls {
+		resp, err := call.Wait()
+		if err == nil {
+			err = resp.Err()
+		}
+		switch {
+		case err == nil:
+			if resp.Meta.Stripe != 0 {
+				priors++ // this holder really held the old stripe
+			}
+		case errors.Is(err, wire.ErrExists):
+			conflicts++
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("chunk %d conditional write: %w", i, err)
+			}
+		}
+		resp.Release()
+	}
+	e.c.instrument("cas", phaseWait, time.Since(issued))
+	e.c.instrumentOp()
+	switch {
+	case conflicts > 0:
+		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		return 0, ErrCASConflict
+	case firstErr != nil:
+		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		return 0, firstErr
+	case expect != wire.CompareAbsent && priors == 0:
+		// Every holder accepted, but none of them held the old stripe:
+		// the key did not exist, so a strict CAS must not create it.
+		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		return 0, ErrNotFound
+	}
+	return meta.Stripe, nil
 }
 
 // unwindStripe best-effort deletes the chunks a failed Set may have
@@ -161,7 +262,7 @@ func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64,
 // serverEncodeSet sends the whole value to the primary, which encodes
 // and distributes the chunks itself (Era-SE-*). If the primary is
 // down, the next server in the placement takes over as coordinator.
-func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration, placement []string) error {
+func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration, placement []string) (uint64, error) {
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m), TotalLen: uint32(len(value))}
 	start := time.Now()
 	defer func() {
@@ -180,10 +281,14 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 			Op: wire.OpEncodeSet, Key: key, Value: value,
 			TTLSeconds: ttlSeconds(ttl), Meta: meta,
 		})
-		resp.Release()
 		if err == nil {
-			return nil
+			// The coordinator minted the stripe ID; it is this write's
+			// version.
+			version := resp.Meta.Stripe
+			resp.Release()
+			return version, nil
 		}
+		resp.Release()
 		lastErr = err
 		// Fail over only when the coordinator was unreachable (down or
 		// suspect). A timeout is NOT failed over: the write may be
@@ -191,37 +296,37 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 		// elsewhere would be a silent retry past the stripe-write
 		// stage.
 		if !errors.Is(err, rpc.ErrServerDown) {
-			return err
+			return 0, err
 		}
 	}
-	return fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+	return 0, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 }
 
-func (e *ecStrategy) get(key string) ([]byte, error) {
+func (e *ecStrategy) get(key string) (Item, error) {
 	n := e.k + e.m
 	placement := e.c.placement(key, n)
 	if placement == nil {
-		return nil, ErrUnavailable
+		return Item{}, ErrUnavailable
 	}
 	// Reads are idempotent, so transient failures (timeouts, down
 	// servers) are retried with backoff; authoritative answers are not.
-	var value []byte
+	var item Item
 	err := e.c.withRetry(func() error {
 		var err error
 		if e.clientDecodes() {
-			value, err = e.clientDecodeGet(key, placement)
+			item, err = e.clientDecodeGet(key, placement)
 		} else {
-			value, err = e.serverDecodeGet(key, placement)
+			item, err = e.serverDecodeGet(key, placement)
 		}
 		return err
 	})
-	return value, err
+	return item, err
 }
 
 // clientDecodeGet aggregates chunks (data first, parity on failure)
 // grouped by stripe so concurrent writes never produce a torn value,
 // then reconstructs if needed (Equation 8).
-func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, error) {
+func (e *ecStrategy) clientDecodeGet(key string, placement []string) (Item, error) {
 	n := e.k + e.m
 	start := time.Now()
 	collector := wire.NewChunkCollector(e.k, n)
@@ -229,6 +334,9 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 	// or another status); notFound counts authoritative misses among
 	// them. Timed-out and unreachable locations are in neither.
 	reachable, notFound := 0, 0
+	// Remaining TTL as reported by the first holder of each stripe, so
+	// the winning stripe's lifetime rides along with the value.
+	ttlByStripe := make(map[uint64]uint32)
 
 	// Chunks in the collector alias the pooled bodies of the responses
 	// that carried them; the leases are held until Join has copied the
@@ -270,6 +378,9 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 				continue // corrupt or torn chunk: parity covers it
 			}
 			collector.Add(meta, chunk)
+			if _, seen := ttlByStripe[meta.Stripe]; !seen {
+				ttlByStripe[meta.Stripe] = resp.TTLSeconds
+			}
 			retained = append(retained, resp)
 		}
 	}
@@ -280,7 +391,7 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 	}
 	gathered := time.Now()
 	e.c.instrument("get", phaseWait, gathered.Sub(start))
-	_, totalLen, chunks, ok := collector.Best()
+	stripe, totalLen, chunks, ok := collector.Best()
 	if !ok {
 		e.c.instrumentOp()
 		// Not-found only on conclusive evidence: every reachable chunk
@@ -290,9 +401,9 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 		// majority, partial stripes, corrupt chunks) is unavailability,
 		// not absence.
 		if reachable > 0 && notFound == reachable && n-reachable < e.k {
-			return nil, ErrNotFound
+			return Item{}, ErrNotFound
 		}
-		return nil, fmt.Errorf("%w: no stripe of %q has %d chunks available", ErrUnavailable, key, e.k)
+		return Item{}, fmt.Errorf("%w: no stripe of %q has %d chunks available", ErrUnavailable, key, e.k)
 	}
 
 	// Degraded read: rebuild only the missing data chunks (parity is
@@ -307,7 +418,7 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 		e.c.mDegraded.Inc()
 		e.c.mRebuilt.Add(int64(len(rebuilt)))
 		if err := erasure.ReconstructData(e.code, chunks); err != nil {
-			return nil, err
+			return Item{}, err
 		}
 	}
 	value, err := erasure.Join(chunks, e.k, int(totalLen))
@@ -319,14 +430,14 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) ([]byte, er
 	e.c.instrument("get", phaseCode, time.Since(gathered))
 	e.c.instrumentOp()
 	if err != nil {
-		return nil, err
+		return Item{}, err
 	}
-	return value, nil
+	return Item{Value: value, Version: stripe, TTL: ttlByStripe[stripe]}, nil
 }
 
 // serverDecodeGet asks the primary to aggregate and decode
 // (Era-*-SD), falling over to the next placement server if it is down.
-func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, error) {
+func (e *ecStrategy) serverDecodeGet(key string, placement []string) (Item, error) {
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m)}
 	start := time.Now()
 	defer func() {
@@ -348,22 +459,26 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) ([]byte, er
 		case err == nil:
 			// The joined value escapes to the caller; copy it out of the
 			// pooled frame body before the lease goes back.
-			v := append([]byte(nil), resp.Value...)
+			item := Item{
+				Value:   append([]byte(nil), resp.Value...),
+				Version: resp.Meta.Stripe,
+				TTL:     resp.TTLSeconds,
+			}
 			resp.Release()
-			return v, nil
+			return item, nil
 		case errors.Is(err, wire.ErrNotFound):
 			resp.Release()
-			return nil, ErrNotFound
+			return Item{}, ErrNotFound
 		case rpc.IsUnavailable(err):
 			resp.Release()
 			lastErr = err
 			continue
 		default:
 			resp.Release()
-			return nil, err
+			return Item{}, err
 		}
 	}
-	return nil, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+	return Item{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 }
 
 func (e *ecStrategy) del(key string) error {
@@ -443,7 +558,7 @@ type hybridStrategy struct {
 
 var _ strategy = (*hybridStrategy)(nil)
 
-func (h *hybridStrategy) set(key string, value []byte, ttl time.Duration) error {
+func (h *hybridStrategy) set(key string, value []byte, ttl time.Duration) (uint64, error) {
 	// After the write lands, purge the OTHER representation: a previous
 	// write of this key may have been on the far side of the size
 	// threshold, and its leftovers would shadow this value on the
@@ -454,32 +569,67 @@ func (h *hybridStrategy) set(key string, value []byte, ttl time.Duration) error 
 	// purging first and then failing the write would lose the old value
 	// without installing the new one.
 	if len(value) < h.threshold {
-		if err := h.rep.set(key, value, ttl); err != nil {
-			return err
+		version, err := h.rep.set(key, value, ttl)
+		if err != nil {
+			return 0, err
 		}
 		_ = h.ec.del(key)
-		return nil
+		return version, nil
 	}
-	if err := h.ec.set(key, value, ttl); err != nil {
-		return err
+	version, err := h.ec.set(key, value, ttl)
+	if err != nil {
+		return 0, err
 	}
 	_ = h.rep.del(key)
-	return nil
+	return version, nil
 }
 
-func (h *hybridStrategy) get(key string) ([]byte, error) {
+// compareSet for the hybrid policy. The new value's size picks the
+// representation the conditional write decides in; when the current
+// item lives on the far side of the threshold no single conditional
+// primitive spans both forms, so the version check degrades to a
+// verified read followed by a plain hybrid set — atomic within each
+// representation, best-effort across them (the same consistency class
+// as hybrid get/del).
+func (h *hybridStrategy) compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error) {
+	var target, other strategy = h.ec, h.rep
+	if len(value) < h.threshold {
+		target, other = h.rep, h.ec
+	}
+	otherItem, otherErr := other.get(key)
+	switch {
+	case otherErr == nil:
+		// The key currently lives in the other representation.
+		if expect == wire.CompareAbsent || otherItem.Version != expect {
+			return 0, ErrCASConflict
+		}
+		// Cross-threshold CAS: checked, then written (hybrid set purges
+		// the old form after the new one lands).
+		return h.set(key, value, ttl)
+	case errors.Is(otherErr, ErrNotFound):
+		// Normal case: the key is absent from the other form, so the
+		// conditional write is atomic within the target representation.
+		return target.compareSet(key, value, ttl, expect)
+	default:
+		// The other form is unreachable: its state is unknown, and a
+		// blind decision could resurrect or clobber it.
+		return 0, otherErr
+	}
+}
+
+func (h *hybridStrategy) get(key string) (Item, error) {
 	// The write-side size is unknown at read time: probe the cheap
 	// replicated form first, then the erasure-coded form.
-	v, repErr := h.rep.get(key)
+	item, repErr := h.rep.get(key)
 	if repErr == nil {
-		return v, nil
+		return item, nil
 	}
 	if !errors.Is(repErr, ErrNotFound) && !errors.Is(repErr, ErrUnavailable) {
-		return nil, repErr
+		return Item{}, repErr
 	}
-	v, ecErr := h.ec.get(key)
+	item, ecErr := h.ec.get(key)
 	if ecErr == nil {
-		return v, nil
+		return item, nil
 	}
 	// "Not found" is conclusive only when BOTH probes answered
 	// authoritatively. An EC-side miss proves nothing about the
@@ -487,9 +637,9 @@ func (h *hybridStrategy) get(key string) ([]byte, error) {
 	// unreachable would otherwise be misreported as absent when it
 	// still exists — so the replicated probe's unavailability wins.
 	if errors.Is(ecErr, ErrNotFound) && errors.Is(repErr, ErrUnavailable) {
-		return nil, repErr
+		return Item{}, repErr
 	}
-	return nil, ecErr
+	return Item{}, ecErr
 }
 
 func (h *hybridStrategy) del(key string) error {

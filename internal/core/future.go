@@ -1,12 +1,21 @@
 package core
 
+// Item is a fetched value with its metadata: the version is the CAS
+// token `gets` exposes and Cas checks (0 for a legacy unversioned
+// write), TTL the remaining lifetime in whole seconds (0 = no expiry).
+type Item struct {
+	Value   []byte
+	Version uint64
+	TTL     uint32
+}
+
 // Future is the completion handle returned by the non-blocking APIs,
 // the analogue of the request token consumed by memcached_wait and
 // memcached_test in the RDMA-Libmemcached design.
 type Future struct {
-	done  chan struct{}
-	value []byte
-	err   error
+	done chan struct{}
+	item Item
+	err  error
 }
 
 func newFuture() *Future { return &Future{done: make(chan struct{})} }
@@ -16,7 +25,15 @@ func newFuture() *Future { return &Future{done: make(chan struct{})} }
 // analogue.
 func (f *Future) Wait() ([]byte, error) {
 	<-f.done
-	return f.value, f.err
+	return f.item.Value, f.err
+}
+
+// WaitItem is Wait returning the full item: the value plus its version
+// (CAS token) and remaining TTL. For mutating operations the item
+// carries only the version the write installed.
+func (f *Future) WaitItem() (Item, error) {
+	<-f.done
+	return f.item, f.err
 }
 
 // Test reports without blocking whether the operation has completed —
@@ -33,8 +50,8 @@ func (f *Future) Test() bool {
 // Done returns a channel closed on completion, for select loops.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
-func (f *Future) complete(value []byte, err error) {
-	f.value, f.err = value, err
+func (f *Future) complete(item Item, err error) {
+	f.item, f.err = item, err
 	close(f.done)
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"ecstore/internal/rpc"
@@ -19,12 +20,16 @@ type repStrategy struct {
 
 var _ strategy = (*repStrategy)(nil)
 
-func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
+func (r *repStrategy) set(key string, value []byte, ttl time.Duration) (uint64, error) {
 	ttlSecs := ttlSeconds(ttl)
 	placement := r.c.placement(key, r.replicas)
 	if placement == nil {
-		return ErrUnavailable
+		return 0, ErrUnavailable
 	}
+	// The write's version is minted client-side and carried in
+	// Meta.Stripe (the same field chunk writes use), so every replica
+	// stores one CAS token for this logical write.
+	version := wire.NewStripeID()
 	if !r.async {
 		// Sync-Rep: each replica write is a full blocking round trip
 		// (Equation 2: F * (L + D/B)).
@@ -32,15 +37,16 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
 			start := time.Now()
 			resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
 				Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
+				Meta: wire.ECMeta{Stripe: version},
 			})
 			resp.Release()
 			if err != nil {
-				return err
+				return 0, err
 			}
 			r.c.instrument("set", phaseWait, time.Since(start))
 		}
 		r.c.instrumentOp()
-		return nil
+		return version, nil
 	}
 	// Async-Rep: issue every replica write, then wait for all
 	// (Equation 6: max over replicas of (L + D/B)). A Send failure
@@ -56,6 +62,7 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
 	for _, addr := range placement {
 		call, err := r.c.pool.Send(addr, &wire.Request{
 			Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
+			Meta: wire.ECMeta{Stripe: version},
 		})
 		if err != nil {
 			firstErr = err
@@ -77,26 +84,89 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) error {
 	}
 	r.c.instrument("set", phaseWait, time.Since(issued))
 	r.c.instrumentOp()
-	return firstErr
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return version, nil
 }
 
-func (r *repStrategy) get(key string) ([]byte, error) {
+// compareSet implements the conditional write for replication. The
+// decision is serialized through the first reachable replica in FIXED
+// placement order — every writer walks the same order, so concurrent
+// CAS attempts for one key race at one decider and exactly one wins.
+// Once decided, the remaining replicas are force-converged with
+// unconditional writes of the same version: they hold an older version
+// by construction (every write lands on all replicas), so overwriting
+// them cannot lose a newer value. A replica that is down during the
+// force-write is converged later by the anti-entropy scrubber; until
+// then a failover read may observe the previous version — the same
+// read-your-writes window async replication already has.
+func (r *repStrategy) compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error) {
+	placement := distinct(r.c.placement(key, r.replicas))
+	if placement == nil {
+		return 0, ErrUnavailable
+	}
+	ttlSecs := ttlSeconds(ttl)
+	version := wire.NewStripeID()
+	start := time.Now()
+	defer func() {
+		r.c.instrument("cas", phaseWait, time.Since(start))
+		r.c.instrumentOp()
+	}()
+	var lastErr error
+	for i, addr := range placement {
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
+			Op: wire.OpCompareSet, Key: key, Value: value,
+			TTLSeconds: ttlSecs, Compare: expect,
+			Meta: wire.ECMeta{Stripe: version},
+		})
+		resp.Release()
+		switch {
+		case err == nil:
+			// Decided. Converge the other replicas; best-effort (see
+			// above).
+			for j, other := range placement {
+				if j == i {
+					continue
+				}
+				fresp, _ := r.c.pool.Roundtrip(other, &wire.Request{
+					Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
+					Meta: wire.ECMeta{Stripe: version},
+				})
+				fresp.Release()
+			}
+			return version, nil
+		case errors.Is(err, wire.ErrExists):
+			return 0, ErrCASConflict
+		case errors.Is(err, wire.ErrNotFound):
+			return 0, ErrNotFound
+		case rpc.IsUnavailable(err):
+			lastErr = err
+			continue
+		default:
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+func (r *repStrategy) get(key string) (Item, error) {
 	placement := r.c.placement(key, r.replicas)
 	if placement == nil {
-		return nil, ErrUnavailable
+		return Item{}, ErrUnavailable
 	}
 	// Reads are idempotent: retry the whole replica walk on transient
 	// failure with backoff.
-	var value []byte
+	var item Item
 	err := r.c.withRetry(func() error {
 		var err error
-		value, err = r.getOnce(key, placement)
+		item, err = r.getOnce(key, placement)
 		return err
 	})
-	return value, err
+	return item, err
 }
 
-func (r *repStrategy) getOnce(key string, placement []string) ([]byte, error) {
+func (r *repStrategy) getOnce(key string, placement []string) (Item, error) {
 	start := time.Now()
 	defer func() {
 		r.c.instrument("get", phaseWait, time.Since(start))
@@ -116,27 +186,31 @@ func (r *repStrategy) getOnce(key string, placement []string) ([]byte, error) {
 		case err == nil:
 			// The value escapes to the caller while the response body
 			// goes back to the frame pool: copy out first.
-			v := append([]byte(nil), resp.Value...)
+			item := Item{
+				Value:   append([]byte(nil), resp.Value...),
+				Version: resp.Meta.Stripe,
+				TTL:     resp.TTLSeconds,
+			}
 			resp.Release()
-			return v, nil
+			return item, nil
 		case errors.Is(err, wire.ErrNotFound):
 			resp.Release()
 			// A live server answered authoritatively: the key is gone
 			// (memcached semantics — evictions are cache misses).
-			return nil, ErrNotFound
+			return Item{}, ErrNotFound
 		case rpc.IsUnavailable(err):
 			resp.Release()
 			lastErr = err
 			continue
 		default:
 			resp.Release()
-			return nil, err
+			return Item{}, err
 		}
 	}
 	if lastErr != nil {
-		return nil, ErrUnavailable
+		return Item{}, ErrUnavailable
 	}
-	return nil, ErrNotFound
+	return Item{}, ErrNotFound
 }
 
 func (r *repStrategy) del(key string) error {

@@ -54,9 +54,9 @@ func (c *Client) Repair(key string) (RepairReport, error) {
 // nil and its error is the repair error.
 func (c *Client) IRepair(key string) *Future {
 	f := newFuture()
-	return c.submit(f, func() ([]byte, error) {
+	return c.submit(f, func() (Item, error) {
 		_, err := c.Repair(key)
-		return nil, err
+		return Item{}, err
 	})
 }
 
@@ -73,6 +73,7 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 	}
 	report := RepairReport{Checked: len(placement)}
 	var value []byte
+	var version uint64
 	found := false
 	notFound := 0
 	missing := make([]string, 0, len(placement))
@@ -83,6 +84,7 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 				// value outlives the pooled response body (it feeds the
 				// rewrites below): copy it out before releasing.
 				value = append([]byte(nil), resp.Value...)
+				version = resp.Meta.Stripe
 				found = true
 				resp.Release()
 				continue
@@ -109,8 +111,11 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 		return report, fmt.Errorf("%w: no live replica of %q", ErrUnavailable, key)
 	}
 	for _, addr := range missing {
+		// The rewrite carries the authoritative copy's version so the
+		// reconverged replicas agree on the CAS token too.
 		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpSet, Key: key, Value: value,
+			Meta: wire.ECMeta{Stripe: version},
 		})
 		resp.Release()
 		if err != nil {

@@ -10,7 +10,9 @@ import (
 
 // ClusterBackend adapts the resilient core.Client to the Backend
 // interface, making the proxy a memcached-compatible front door to
-// the erasure-coded cluster.
+// the erasure-coded cluster. CAS tokens are the cluster's stripe
+// version IDs, so a memcached cas round-trips into a real conditional
+// write on the stripe machinery (DESIGN §10).
 type ClusterBackend struct {
 	// Client is the resilient cluster client.
 	Client *core.Client
@@ -21,23 +23,60 @@ type ClusterBackend struct {
 
 var _ Backend = (*ClusterBackend)(nil)
 
-// Set stores through the cluster with the configured resilience.
-func (b *ClusterBackend) Set(key string, value []byte, ttl time.Duration) error {
-	return b.Client.SetTTL(key, value, ttl)
+// translate maps cluster errors onto the Backend sentinel vocabulary.
+func translate(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrNotFound):
+		return ErrCacheMiss
+	case errors.Is(err, core.ErrCASConflict):
+		return ErrCASConflict
+	default:
+		return err
+	}
+}
+
+// Set stores through the cluster with the configured resilience and
+// returns the new item version as the CAS token.
+func (b *ClusterBackend) Set(key string, value []byte, ttl time.Duration) (uint64, error) {
+	version, err := b.Client.SetVersion(key, value, ttl)
+	return version, translate(err)
 }
 
 // Get reads through the cluster, reconstructing from parity under
-// failures.
-func (b *ClusterBackend) Get(key string) ([]byte, bool, error) {
-	v, err := b.Client.Get(key)
-	switch {
-	case err == nil:
-		return v, true, nil
-	case errors.Is(err, core.ErrNotFound):
-		return nil, false, nil
-	default:
-		return nil, false, err
+// failures, and carries the version and remaining TTL along.
+func (b *ClusterBackend) Get(key string) (Item, error) {
+	item, err := b.Client.Gets(key)
+	if err != nil {
+		return Item{}, translate(err)
 	}
+	return Item{Value: item.Value, CAS: item.Version, TTL: item.TTL}, nil
+}
+
+// GetMulti fans the whole batch into one pipelined cluster read and
+// classifies each key as found, absent, or failed.
+func (b *ClusterBackend) GetMulti(keys []string) (map[string]Item, map[string]error) {
+	found, failed := b.Client.MGetItems(keys)
+	out := make(map[string]Item, len(found))
+	for k, item := range found {
+		out[k] = Item{Value: item.Value, CAS: item.Version, TTL: item.TTL}
+	}
+	var errs map[string]error
+	if len(failed) > 0 {
+		errs = make(map[string]error, len(failed))
+		for k, err := range failed {
+			errs[k] = translate(err)
+		}
+	}
+	return out, errs
+}
+
+// Cas performs a conditional write against the stored stripe version;
+// cas == 0 is an add.
+func (b *ClusterBackend) Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error) {
+	version, err := b.Client.Cas(key, value, ttl, cas)
+	return version, translate(err)
 }
 
 // Delete removes the key cluster-wide.
@@ -51,6 +90,11 @@ func (b *ClusterBackend) Delete(key string) (bool, error) {
 	default:
 		return false, err
 	}
+}
+
+// Flush drops every item on every configured server.
+func (b *ClusterBackend) Flush() error {
+	return b.Client.FlushAll()
 }
 
 // Stats aggregates store statistics across the configured servers.

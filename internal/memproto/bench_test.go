@@ -1,0 +1,79 @@
+package memproto_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ecstore/internal/memproto"
+)
+
+// benchConversation runs a prebuilt protocol script through a fresh
+// handler per iteration batch, reporting proxy-side QPS and p99 per
+// command. The backend is in-memory, so this isolates the protocol
+// layer itself — parsing, dispatch, response assembly, pipelined
+// flushing — which is the part this package owns.
+func benchConversation(b *testing.B, script string, cmdsPerScript int) {
+	backend := newFakeBackend()
+	backend.store("bench", append([]byte{0, 0, 0, 0}, bytes.Repeat([]byte("v"), 100)...))
+	h := memproto.NewHandler(backend)
+	var out bytes.Buffer
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		start := time.Now()
+		if err := h.ServeConn(strings.NewReader(script), &out); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	elapsed := time.Duration(0)
+	for _, d := range lat {
+		elapsed += d
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*cmdsPerScript)/elapsed.Seconds(), "qps")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[(len(lat)*99)/100]), "p99_ns")
+	}
+}
+
+func BenchmarkProxyGet(b *testing.B) {
+	benchConversation(b, "get bench\r\n", 1)
+}
+
+func BenchmarkProxySet(b *testing.B) {
+	payload := strings.Repeat("x", 100)
+	benchConversation(b, fmt.Sprintf("set bench 0 0 %d\r\n%s\r\n", len(payload), payload), 1)
+}
+
+// BenchmarkProxyPipelined64 measures the deep-pipelining shape: 64
+// commands land in one read buffer and are answered with one flush.
+func BenchmarkProxyPipelined64(b *testing.B) {
+	var script strings.Builder
+	for i := 0; i < 64; i++ {
+		script.WriteString("get bench\r\n")
+	}
+	benchConversation(b, script.String(), 64)
+}
+
+// BenchmarkProxyMultiGet64 measures the batched read path: one get
+// line carrying 64 keys, answered from a single backend fan-out.
+func BenchmarkProxyMultiGet64(b *testing.B) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "bench"
+	}
+	benchConversation(b, "get "+strings.Join(keys, " ")+"\r\n", 64)
+}
+
+func BenchmarkProxyMetaGet(b *testing.B) {
+	benchConversation(b, "mg bench v f c\r\n", 1)
+}

@@ -1,0 +1,525 @@
+package memproto_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/memproto"
+)
+
+// fakeBackend is an in-memory Backend that counts calls, so handler
+// tests can assert on batching behaviour without a cluster.
+type fakeBackend struct {
+	mu            sync.Mutex
+	items         map[string]memproto.Item
+	nextCAS       uint64
+	getCalls      int
+	getMultiCalls int
+	multiSizes    []int
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{items: make(map[string]memproto.Item)}
+}
+
+func (b *fakeBackend) store(key string, value []byte) uint64 {
+	b.nextCAS++
+	b.items[key] = memproto.Item{Value: append([]byte(nil), value...), CAS: b.nextCAS}
+	return b.nextCAS
+}
+
+func (b *fakeBackend) Set(key string, value []byte, ttl time.Duration) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.store(key, value), nil
+}
+
+func (b *fakeBackend) Get(key string) (memproto.Item, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.getCalls++
+	item, ok := b.items[key]
+	if !ok {
+		return memproto.Item{}, memproto.ErrCacheMiss
+	}
+	return item, nil
+}
+
+func (b *fakeBackend) GetMulti(keys []string) (map[string]memproto.Item, map[string]error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.getMultiCalls++
+	b.multiSizes = append(b.multiSizes, len(keys))
+	out := make(map[string]memproto.Item)
+	for _, k := range keys {
+		if item, ok := b.items[k]; ok {
+			out[k] = item
+		}
+	}
+	return out, nil
+}
+
+func (b *fakeBackend) Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.items[key]
+	if cas == 0 {
+		if ok {
+			return 0, memproto.ErrCASConflict
+		}
+		return b.store(key, value), nil
+	}
+	if !ok {
+		return 0, memproto.ErrCacheMiss
+	}
+	if cur.CAS != cas {
+		return 0, memproto.ErrCASConflict
+	}
+	return b.store(key, value), nil
+}
+
+func (b *fakeBackend) Delete(key string) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.items[key]
+	delete(b.items, key)
+	return ok, nil
+}
+
+func (b *fakeBackend) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.items = make(map[string]memproto.Item)
+	return nil
+}
+
+func (b *fakeBackend) Stats() map[string]string { return map[string]string{"fake": "1"} }
+
+// runScript feeds one protocol conversation through a handler over
+// in-memory buffers and returns everything the server wrote.
+func runScript(t *testing.T, backend memproto.Backend, script string, opts ...memproto.Option) string {
+	t.Helper()
+	h := memproto.NewHandler(backend, opts...)
+	var out bytes.Buffer
+	if err := h.ServeConn(strings.NewReader(script), &out); err != nil && err != io.ErrUnexpectedEOF {
+		t.Fatalf("ServeConn: %v", err)
+	}
+	return out.String()
+}
+
+// TestMultiGetIsBatched is the acceptance check for the proxy's read
+// path: a 64-key get must become exactly ONE batched backend fetch —
+// not 64 sequential point reads.
+func TestMultiGetIsBatched(t *testing.T) {
+	b := newFakeBackend()
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+		b.store(keys[i], []byte{0, 0, 0, 0, 'v'})
+	}
+	out := runScript(t, b, "get "+strings.Join(keys, " ")+"\r\nquit\r\n")
+	if b.getMultiCalls != 1 || b.getCalls != 0 {
+		t.Fatalf("64-key get made %d GetMulti + %d Get calls, want 1 + 0",
+			b.getMultiCalls, b.getCalls)
+	}
+	if len(b.multiSizes) != 1 || b.multiSizes[0] != 64 {
+		t.Fatalf("batch sizes %v, want [64]", b.multiSizes)
+	}
+	if got := strings.Count(out, "VALUE "); got != 64 {
+		t.Fatalf("%d VALUE lines, want 64", got)
+	}
+}
+
+func TestAddReplace(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("add fresh 0 0 1\r\na\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("add on absent -> %q", got)
+	}
+	c.send("add fresh 0 0 1\r\nb\r\n")
+	if got := c.line(); got != "NOT_STORED" {
+		t.Fatalf("add on existing -> %q", got)
+	}
+	c.send("replace fresh 0 0 1\r\nc\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("replace on existing -> %q", got)
+	}
+	c.send("replace missing 0 0 1\r\nd\r\n")
+	if got := c.line(); got != "NOT_STORED" {
+		t.Fatalf("replace on absent -> %q", got)
+	}
+	c.send("get fresh\r\n")
+	if got := c.line(); got != "VALUE fresh 0 1" {
+		t.Fatal(got)
+	}
+	if got := string(c.read(1)); got != "c" {
+		t.Fatalf("value %q", got)
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("set w 7 0 3\r\nbbb\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatal(got)
+	}
+	c.send("append w 0 0 3\r\nccc\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("append -> %q", got)
+	}
+	c.send("prepend w 0 0 3\r\naaa\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("prepend -> %q", got)
+	}
+	// append/prepend keep the original item's flags.
+	c.send("get w\r\n")
+	if got := c.line(); got != "VALUE w 7 9" {
+		t.Fatalf("header %q", got)
+	}
+	if got := string(c.read(9)); got != "aaabbbccc" {
+		t.Fatalf("value %q", got)
+	}
+	c.read(2)
+	c.line()
+	c.send("append nope 0 0 1\r\nx\r\n")
+	if got := c.line(); got != "NOT_STORED" {
+		t.Fatalf("append on absent -> %q", got)
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("set n 0 0 2\r\n10\r\n")
+	c.line()
+	c.send("incr n 5\r\n")
+	if got := c.line(); got != "15" {
+		t.Fatalf("incr -> %q", got)
+	}
+	c.send("decr n 100\r\n")
+	if got := c.line(); got != "0" {
+		t.Fatalf("decr clamps at zero -> %q", got)
+	}
+	c.send("incr missing 1\r\n")
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("incr on absent -> %q", got)
+	}
+	c.send("set s 0 0 3\r\nabc\r\n")
+	c.line()
+	c.send("incr s 1\r\n")
+	if got := c.line(); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("incr non-numeric -> %q", got)
+	}
+	c.send("incr n notanumber\r\n")
+	if got := c.line(); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("bad delta -> %q", got)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("set k 0 0 1\r\nx\r\n")
+	c.line()
+	c.send("touch k 3600\r\n")
+	if got := c.line(); got != "TOUCHED" {
+		t.Fatalf("touch -> %q", got)
+	}
+	// The new lifetime is visible through the meta protocol.
+	c.send("mg k t\r\n")
+	got := c.line()
+	if !strings.HasPrefix(got, "HD t") || got == "HD t-1" {
+		t.Fatalf("mg t after touch -> %q", got)
+	}
+	c.send("touch missing 60\r\n")
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("touch on absent -> %q", got)
+	}
+}
+
+func TestFlushAllCommand(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	for i := 0; i < 3; i++ {
+		c.send("set f%d 0 0 1\r\nx\r\n", i)
+		if got := c.line(); got != "STORED" {
+			t.Fatal(got)
+		}
+	}
+	c.send("flush_all\r\n")
+	if got := c.line(); got != "OK" {
+		t.Fatalf("flush_all -> %q", got)
+	}
+	c.send("get f0 f1 f2\r\n")
+	if got := c.line(); got != "END" {
+		t.Fatalf("get after flush -> %q", got)
+	}
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("set fl 12345 0 3\r\nabc\r\n")
+	c.line()
+	c.send("get fl\r\n")
+	if got := c.line(); got != "VALUE fl 12345 3" {
+		t.Fatalf("flags did not round-trip: %q", got)
+	}
+}
+
+// TestPipelinedNoreply writes a burst of >100 noreply mutations in one
+// shot and then reads the single reply of the trailing get — the deep
+// pipelining shape the e2e suite also exercises over real TCP.
+func TestPipelinedNoreply(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	var burst strings.Builder
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&burst, "set pipe%03d 0 0 4 noreply\r\nv%03d\r\n", i, i)
+	}
+	burst.WriteString("get pipe119\r\n")
+	c.send("%s", burst.String())
+	if got := c.line(); got != "VALUE pipe119 0 4" {
+		t.Fatalf("after 120 pipelined noreply sets: %q", got)
+	}
+	if got := string(c.read(4)); got != "v119" {
+		t.Fatalf("value %q", got)
+	}
+	c.read(2)
+	if got := c.line(); got != "END" {
+		t.Fatal(got)
+	}
+}
+
+func TestMetaGetSet(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	// ms with TTL, client flags, and a requested cas return.
+	c.send("ms mk 5 T3600 F7 c\r\nhello\r\n")
+	line := c.line()
+	if !strings.HasPrefix(line, "HD c") || strings.HasPrefix(line, "HD c0") {
+		t.Fatalf("ms -> %q", line)
+	}
+	// mg returning value, flags, ttl, cas, key, size, opaque.
+	c.send("mg mk v f t c k s Oxyz\r\n")
+	header := strings.Fields(c.line())
+	if header[0] != "VA" || header[1] != "5" {
+		t.Fatalf("mg header %v", header)
+	}
+	want := map[byte]bool{'f': false, 't': false, 'c': false, 'k': false, 's': false, 'O': false}
+	for _, f := range header[2:] {
+		switch f[0] {
+		case 'f':
+			if f != "f7" {
+				t.Fatalf("flags %q", f)
+			}
+		case 'k':
+			if f != "kmk" {
+				t.Fatalf("key %q", f)
+			}
+		case 's':
+			if f != "s5" {
+				t.Fatalf("size %q", f)
+			}
+		case 'O':
+			if f != "Oxyz" {
+				t.Fatalf("opaque %q", f)
+			}
+		case 't':
+			if f == "t-1" || f == "t0" {
+				t.Fatalf("ttl %q", f)
+			}
+		case 'c':
+			if f == "c0" {
+				t.Fatalf("cas %q", f)
+			}
+		}
+		want[f[0]] = true
+	}
+	for fl, seen := range want {
+		if !seen {
+			t.Fatalf("mg missing return flag %c in %v", fl, header)
+		}
+	}
+	if got := string(c.read(5)); got != "hello" {
+		t.Fatalf("mg body %q", got)
+	}
+	c.read(2)
+
+	// Miss: EN, and q suppresses it (mn provides the barrier).
+	c.send("mg missing\r\n")
+	if got := c.line(); got != "EN" {
+		t.Fatalf("mg miss -> %q", got)
+	}
+	c.send("mg missing q\r\nmn\r\n")
+	if got := c.line(); got != "MN" {
+		t.Fatalf("quiet miss leaked a response: %q", got)
+	}
+}
+
+func TestMetaSetModesAndCas(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	// Add mode on an existing key: NS.
+	c.send("ms ek 1 ME\r\na\r\n")
+	if got := c.line(); got != "HD" {
+		t.Fatalf("ms add fresh -> %q", got)
+	}
+	c.send("ms ek 1 ME\r\nb\r\n")
+	if got := c.line(); got != "NS" {
+		t.Fatalf("ms add existing -> %q", got)
+	}
+	// CAS via C flag: stale token EX, fresh token HD.
+	c.send("mg ek c\r\n")
+	line := c.line()
+	token := strings.TrimPrefix(strings.Fields(line)[1], "c")
+	c.send("ms ek 1 C%s c\r\nc\r\n", token)
+	fresh := c.line()
+	if !strings.HasPrefix(fresh, "HD c") {
+		t.Fatalf("ms with fresh C -> %q", fresh)
+	}
+	c.send("ms ek 1 C%s\r\nd\r\n", token)
+	if got := c.line(); got != "EX" {
+		t.Fatalf("ms with stale C -> %q", got)
+	}
+	c.send("ms absent 1 C%s\r\nd\r\n", token)
+	if got := c.line(); got != "NF" {
+		t.Fatalf("ms with C on absent -> %q", got)
+	}
+	// Replace/append modes.
+	c.send("ms missing 1 MR\r\nx\r\n")
+	if got := c.line(); got != "NS" {
+		t.Fatalf("ms replace absent -> %q", got)
+	}
+	c.send("ms ek 1 MA\r\nZ\r\n")
+	if got := c.line(); got != "HD" {
+		t.Fatalf("ms append -> %q", got)
+	}
+	c.send("mg ek v s\r\n")
+	if got := c.line(); !strings.HasPrefix(got, "VA 2") {
+		t.Fatalf("after append: %q", got)
+	}
+	if got := string(c.read(2)); got != "cZ" {
+		t.Fatalf("appended value %q", got)
+	}
+	c.read(2)
+}
+
+func TestMetaDelete(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("ms dk 1\r\nx\r\n")
+	c.line()
+	c.send("md dk Otag\r\n")
+	if got := c.line(); got != "HD Otag" {
+		t.Fatalf("md -> %q", got)
+	}
+	c.send("md dk\r\n")
+	if got := c.line(); got != "NF" {
+		t.Fatalf("md on absent -> %q", got)
+	}
+	// Conditional delete: stale cas EX, and the item survives.
+	c.send("ms dk 1\r\nx\r\n")
+	c.line()
+	c.send("md dk C1\r\n")
+	if got := c.line(); got != "EX" {
+		t.Fatalf("md with stale C -> %q", got)
+	}
+	c.send("mg dk\r\n")
+	if got := c.line(); got != "HD" {
+		t.Fatalf("item deleted despite EX: %q", got)
+	}
+}
+
+func TestMetaArithmetic(t *testing.T) {
+	_, dial := startProxy(t)
+	c := dial()
+	c.send("ms ctr 2\r\n10\r\n")
+	c.line()
+	c.send("ma ctr D5 v\r\n")
+	if got := c.line(); got != "VA 2" {
+		t.Fatalf("ma incr header -> %q", got)
+	}
+	if got := string(c.read(2)); got != "15" {
+		t.Fatalf("ma incr -> %q", got)
+	}
+	c.read(2)
+	c.send("ma ctr MD D100 v\r\n")
+	if got := c.line(); got != "VA 1" {
+		t.Fatalf("ma decr header -> %q", got)
+	}
+	if got := string(c.read(1)); got != "0" {
+		t.Fatalf("ma decr clamp -> %q", got)
+	}
+	c.read(2)
+	c.send("ma nope\r\n")
+	if got := c.line(); got != "NF" {
+		t.Fatalf("ma on absent -> %q", got)
+	}
+	// Autovivify: N + J seed a missing counter.
+	c.send("ma nope N0 J7 v\r\n")
+	if got := c.line(); got != "VA 1" {
+		t.Fatalf("ma autovivify header -> %q", got)
+	}
+	if got := string(c.read(1)); got != "7" {
+		t.Fatalf("ma autovivify -> %q", got)
+	}
+	c.read(2)
+}
+
+func TestObjectTooLarge(t *testing.T) {
+	b := newFakeBackend()
+	payload := strings.Repeat("x", 32)
+	script := fmt.Sprintf("set big 0 0 %d\r\n%s\r\nversion\r\n", len(payload), payload)
+	out := runScript(t, b, script, memproto.WithMaxItemSize(16))
+	if !strings.HasPrefix(out, "SERVER_ERROR object too large for cache\r\n") {
+		t.Fatalf("output %q", out)
+	}
+	// The oversized body must be consumed: the next command still runs.
+	if !strings.Contains(out, "VERSION") {
+		t.Fatalf("connection desynced after oversized set: %q", out)
+	}
+}
+
+func TestGetMultiBackendErrorIsServerError(t *testing.T) {
+	b := newFakeBackend()
+	h := memproto.NewHandler(&failingBackend{fakeBackend: b})
+	var out bytes.Buffer
+	if err := h.ServeConn(strings.NewReader("get a b\r\nquit\r\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "SERVER_ERROR") {
+		t.Fatalf("unreachable key answered %q, want SERVER_ERROR", out.String())
+	}
+}
+
+// failingBackend reports every multi-get key as unreachable.
+type failingBackend struct {
+	*fakeBackend
+}
+
+func (b *failingBackend) GetMulti(keys []string) (map[string]memproto.Item, map[string]error) {
+	errs := make(map[string]error, len(keys))
+	for _, k := range keys {
+		errs[k] = fmt.Errorf("backend unreachable")
+	}
+	return nil, errs
+}
+
+// TestHandlerDirect exercises the quit path and trailing flush through
+// an in-memory conversation.
+func TestHandlerDirect(t *testing.T) {
+	b := newFakeBackend()
+	out := runScript(t, b, "set k 0 0 2\r\nhi\r\nget k\r\nquit\r\n")
+	want := "STORED\r\nVALUE k 0 2\r\nhi\r\nEND\r\n"
+	if out != want {
+		t.Fatalf("conversation = %q, want %q", out, want)
+	}
+}

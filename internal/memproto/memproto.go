@@ -1,45 +1,144 @@
-// Package memproto implements a subset of the memcached ASCII
-// protocol (set/get/gets/delete/stats/version/quit) in front of any
-// Backend — in particular the resilient core.Client, which turns this
-// package into a drop-in memcached endpoint whose fault tolerance is
-// online erasure coding. Unmodified memcached clients (the
-// application-server scenario of the paper's introduction) connect to
-// the proxy and transparently get resilient, memory-efficient storage.
+// Package memproto implements the memcached ASCII protocol — the
+// classic text commands (set/add/replace/append/prepend/cas, get/gets,
+// delete, incr/decr, touch, flush_all, stats, version) plus the meta
+// commands (mg/ms/md/ma/mn) with their common flags — in front of any
+// Backend. In particular it fronts the resilient core.Client, which
+// turns this package into a drop-in memcached endpoint whose fault
+// tolerance is online erasure coding: unmodified memcached clients and
+// load generators (the application-server scenario of the paper's
+// introduction) connect to the proxy and transparently get resilient,
+// memory-efficient storage.
+//
+// Protocol notes and deviations:
+//
+//   - Client flags are stored as a 4-byte big-endian prefix inside the
+//     backend value, so the backend stays a plain byte store. Values
+//     written through the proxy therefore carry the prefix when read
+//     directly with kvcli, and vice versa.
+//   - CAS tokens are the cluster's stripe-version IDs, threaded from
+//     the store through core.Client (see DESIGN §10); gets/mg report
+//     them and cas/ms-C check them with real conditional writes.
+//   - append/prepend/incr/decr/touch are read-modify-write loops built
+//     on the conditional write, so they are atomic against concurrent
+//     proxy mutations of the same key.
+//   - Requests are pipelined: responses are buffered and flushed only
+//     when the read side has no more buffered input, so a burst of
+//     pipelined commands costs a handful of writes.
+//   - Not implemented: the binary protocol, base64 meta keys (b flag),
+//     gat/gats, and flush_all with a delay (the delay is ignored).
 package memproto
 
 import (
-	"bufio"
+	"encoding/binary"
 	"errors"
-	"fmt"
-	"io"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"ecstore/internal/metrics"
 	"ecstore/internal/transport"
 )
 
-// MaxItemSize bounds a single item, as in memcached's default 1 MB
-// (we allow the paper's full 16 MB frame ceiling divided by a margin).
-const MaxItemSize = 8 << 20
+// DefaultMaxItemSize bounds a single item when no option overrides it:
+// the paper's 16 MB frame ceiling divided by a safety margin (memcached
+// defaults to 1 MB; -max-item-size widens it).
+const DefaultMaxItemSize = 8 << 20
+
+// Backend errors. Backends translate their storage errors into these
+// so the protocol layer can answer with the right memcached response
+// (miss vs EXISTS vs SERVER_ERROR).
+var (
+	// ErrCacheMiss means the key does not exist.
+	ErrCacheMiss = errors.New("memproto: cache miss")
+	// ErrCASConflict means the conditional write lost: the stored CAS
+	// token differs from the expected one (or, for an add, the key
+	// already exists).
+	ErrCASConflict = errors.New("memproto: cas conflict")
+)
+
+// Item is one stored item as the Backend sees it: an opaque value (the
+// proxy keeps the memcached client flags inside it), the CAS token,
+// and the remaining TTL in whole seconds (0 = no expiry).
+type Item struct {
+	Value []byte
+	CAS   uint64
+	TTL   uint32
+}
 
 // Backend is the storage the proxy serves. Implementations must be
 // safe for concurrent use.
 type Backend interface {
-	// Set stores value under key with a TTL (0 = no expiry).
-	Set(key string, value []byte, ttl time.Duration) error
-	// Get returns the value and whether it exists.
-	Get(key string) ([]byte, bool, error)
+	// Set stores value under key with a TTL (0 = no expiry) and
+	// returns the CAS token of the new item version.
+	Set(key string, value []byte, ttl time.Duration) (uint64, error)
+	// Get returns the item stored under key, or ErrCacheMiss.
+	Get(key string) (Item, error)
+	// GetMulti fetches every key in one batched backend operation. It
+	// returns the items found plus a per-key error map for keys whose
+	// state could not be determined; a key in neither map is
+	// authoritatively absent.
+	GetMulti(keys []string) (map[string]Item, map[string]error)
+	// Cas stores value only if the current CAS token equals cas,
+	// returning the new token. cas == 0 requires the key to be absent
+	// (add semantics). A lost race returns ErrCASConflict, an absent
+	// key (with cas != 0) ErrCacheMiss.
+	Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error)
 	// Delete removes key, reporting whether it existed.
 	Delete(key string) (bool, error)
+	// Flush removes every item.
+	Flush() error
 	// Stats returns server statistics as key/value lines.
 	Stats() map[string]string
 }
 
+// flagsPrefixLen is the size of the client-flags prefix the proxy
+// stores in front of every value.
+const flagsPrefixLen = 4
+
+// encodeFlags prepends the memcached client flags to value.
+func encodeFlags(flags uint32, value []byte) []byte {
+	out := make([]byte, flagsPrefixLen+len(value))
+	binary.BigEndian.PutUint32(out, flags)
+	copy(out[flagsPrefixLen:], value)
+	return out
+}
+
+// decodeFlags splits a stored value into client flags and payload. A
+// value too short to carry the prefix (written by a non-proxy client)
+// is returned whole with flags 0.
+func decodeFlags(stored []byte) (uint32, []byte) {
+	if len(stored) < flagsPrefixLen {
+		return 0, stored
+	}
+	return binary.BigEndian.Uint32(stored), stored[flagsPrefixLen:]
+}
+
+// Option configures a Handler (and through it, a Server).
+type Option func(*Handler)
+
+// WithMaxItemSize overrides the per-item size ceiling.
+func WithMaxItemSize(n int) Option {
+	return func(h *Handler) {
+		if n > 0 {
+			h.maxItem = n
+		}
+	}
+}
+
+// WithMetrics registers the proxy's per-command counters, hit/miss
+// ratios, byte counters, and latency histograms (ecstore_proxy_*) in
+// reg.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(h *Handler) { h.pm = newProxyMetrics(reg) }
+}
+
+// WithVersion sets the string the `version` command reports.
+func WithVersion(v string) Option {
+	return func(h *Handler) { h.version = v }
+}
+
 // Server speaks the memcached ASCII protocol on a listener.
 type Server struct {
-	backend  Backend
+	handler  *Handler
 	listener transport.Listener
 
 	mu     sync.Mutex
@@ -49,9 +148,9 @@ type Server struct {
 }
 
 // Serve starts a protocol server on ln backed by backend.
-func Serve(ln transport.Listener, backend Backend) *Server {
+func Serve(ln transport.Listener, backend Backend, opts ...Option) *Server {
 	s := &Server{
-		backend:  backend,
+		handler:  NewHandler(backend, opts...),
 		listener: ln,
 		conns:    make(map[transport.Conn]struct{}),
 	}
@@ -99,206 +198,15 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				_ = conn.Close()
+			}()
+			_ = s.handler.ServeConn(conn, conn)
+		}()
 	}
-}
-
-func (s *Server) serveConn(conn transport.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		_ = conn.Close()
-	}()
-	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	for {
-		if err := s.serveOne(br, bw); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, errQuit) {
-				_, _ = bw.WriteString("SERVER_ERROR " + err.Error() + "\r\n")
-			}
-			_ = bw.Flush()
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-// errQuit signals a clean client-initiated close.
-var errQuit = errors.New("quit")
-
-func (s *Server) serveOne(br *bufio.Reader, bw *bufio.Writer) error {
-	line, err := readLine(br)
-	if err != nil {
-		return err
-	}
-	if line == "" {
-		_, _ = bw.WriteString("ERROR\r\n")
-		return nil
-	}
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case "set", "add", "replace":
-		return s.handleSet(br, bw, fields)
-	case "get", "gets":
-		return s.handleGet(bw, fields)
-	case "delete":
-		return s.handleDelete(bw, fields)
-	case "stats":
-		for k, v := range s.backend.Stats() {
-			fmt.Fprintf(bw, "STAT %s %s\r\n", k, v)
-		}
-		_, _ = bw.WriteString("END\r\n")
-		return nil
-	case "version":
-		_, _ = bw.WriteString("VERSION ecstore-1.0\r\n")
-		return nil
-	case "quit":
-		return errQuit
-	default:
-		_, _ = bw.WriteString("ERROR\r\n")
-		return nil
-	}
-}
-
-// handleSet implements: set <key> <flags> <exptime> <bytes> [noreply].
-// add/replace are accepted and treated as set (documented deviation).
-func (s *Server) handleSet(br *bufio.Reader, bw *bufio.Writer, fields []string) error {
-	noreply := len(fields) == 6 && fields[5] == "noreply"
-	if len(fields) != 5 && !noreply {
-		_, _ = bw.WriteString("CLIENT_ERROR bad command line format\r\n")
-		return nil
-	}
-	key := fields[1]
-	exptime, err1 := strconv.ParseInt(fields[3], 10, 64)
-	size, err2 := strconv.Atoi(fields[4])
-	if err1 != nil || err2 != nil || size < 0 || size > MaxItemSize || !validKey(key) {
-		_, _ = bw.WriteString("CLIENT_ERROR bad data chunk\r\n")
-		// Consume and discard the announced body if the size parsed.
-		if err2 == nil && size >= 0 && size <= MaxItemSize {
-			_, _ = io.CopyN(io.Discard, br, int64(size)+2)
-		}
-		return nil
-	}
-	value := make([]byte, size)
-	if _, err := io.ReadFull(br, value); err != nil {
-		return err
-	}
-	if err := expectCRLF(br); err != nil {
-		_, _ = bw.WriteString("CLIENT_ERROR bad data chunk\r\n")
-		return nil
-	}
-	ttl := expTimeToTTL(exptime)
-	if err := s.backend.Set(key, value, ttl); err != nil {
-		if !noreply {
-			_, _ = bw.WriteString("SERVER_ERROR " + err.Error() + "\r\n")
-		}
-		return nil
-	}
-	if !noreply {
-		_, _ = bw.WriteString("STORED\r\n")
-	}
-	return nil
-}
-
-// expTimeToTTL converts memcached exptime semantics: 0 = never,
-// <= 30 days = relative seconds, otherwise an absolute unix time.
-func expTimeToTTL(exptime int64) time.Duration {
-	const thirtyDays = 60 * 60 * 24 * 30
-	switch {
-	case exptime == 0:
-		return 0
-	case exptime <= thirtyDays:
-		return time.Duration(exptime) * time.Second
-	default:
-		ttl := time.Until(time.Unix(exptime, 0))
-		if ttl <= 0 {
-			return time.Nanosecond // already expired
-		}
-		return ttl
-	}
-}
-
-func (s *Server) handleGet(bw *bufio.Writer, fields []string) error {
-	if len(fields) < 2 {
-		_, _ = bw.WriteString("ERROR\r\n")
-		return nil
-	}
-	withCAS := fields[0] == "gets"
-	for _, key := range fields[1:] {
-		if !validKey(key) {
-			continue
-		}
-		value, ok, err := s.backend.Get(key)
-		if err != nil || !ok {
-			continue // missing keys are silently skipped, per protocol
-		}
-		if withCAS {
-			// This store has no CAS tokens; report 0.
-			fmt.Fprintf(bw, "VALUE %s 0 %d 0\r\n", key, len(value))
-		} else {
-			fmt.Fprintf(bw, "VALUE %s 0 %d\r\n", key, len(value))
-		}
-		_, _ = bw.Write(value)
-		_, _ = bw.WriteString("\r\n")
-	}
-	_, _ = bw.WriteString("END\r\n")
-	return nil
-}
-
-func (s *Server) handleDelete(bw *bufio.Writer, fields []string) error {
-	noreply := len(fields) == 3 && fields[2] == "noreply"
-	if len(fields) != 2 && !noreply {
-		_, _ = bw.WriteString("CLIENT_ERROR bad command line format\r\n")
-		return nil
-	}
-	existed, err := s.backend.Delete(fields[1])
-	if noreply {
-		return nil
-	}
-	switch {
-	case err != nil:
-		_, _ = bw.WriteString("SERVER_ERROR " + err.Error() + "\r\n")
-	case existed:
-		_, _ = bw.WriteString("DELETED\r\n")
-	default:
-		_, _ = bw.WriteString("NOT_FOUND\r\n")
-	}
-	return nil
-}
-
-// validKey enforces memcached key rules: <= 250 bytes, no spaces or
-// control characters.
-func validKey(key string) bool {
-	if key == "" || len(key) > 250 {
-		return false
-	}
-	for i := 0; i < len(key); i++ {
-		if key[i] <= ' ' || key[i] == 0x7F {
-			return false
-		}
-	}
-	return true
-}
-
-func readLine(br *bufio.Reader) (string, error) {
-	line, err := br.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimRight(line, "\r\n"), nil
-}
-
-func expectCRLF(br *bufio.Reader) error {
-	var crlf [2]byte
-	if _, err := io.ReadFull(br, crlf[:]); err != nil {
-		return err
-	}
-	if crlf[0] != '\r' || crlf[1] != '\n' {
-		return errors.New("memproto: missing CRLF after data block")
-	}
-	return nil
 }

@@ -145,18 +145,50 @@ func TestMultiKeyGet(t *testing.T) {
 	}
 }
 
-func TestGetsReportsCASZero(t *testing.T) {
+func TestGetsCasRoundTrip(t *testing.T) {
 	_, dial := startProxy(t)
 	c := dial()
 	c.send("set k 0 0 1\r\nx\r\n")
-	c.line()
+	if got := c.line(); got != "STORED" {
+		t.Fatal(got)
+	}
 	c.send("gets k\r\n")
-	if got := c.line(); got != "VALUE k 0 1 0" {
-		t.Fatalf("gets header %q", got)
+	header := strings.Fields(c.line())
+	if len(header) != 5 || header[0] != "VALUE" || header[1] != "k" {
+		t.Fatalf("gets header %v", header)
+	}
+	token := header[4]
+	if token == "0" {
+		t.Fatal("gets reported CAS token 0 for a stored item")
 	}
 	c.read(3)
 	if got := c.line(); got != "END" {
 		t.Fatal(got)
+	}
+
+	// The fresh token admits exactly one conditional write.
+	c.send("cas k 0 0 2 %s\r\nv2\r\n", token)
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("cas with fresh token -> %q", got)
+	}
+	c.send("cas k 0 0 2 %s\r\nv3\r\n", token)
+	if got := c.line(); got != "EXISTS" {
+		t.Fatalf("cas with stale token -> %q", got)
+	}
+	c.send("get k\r\n")
+	if got := c.line(); got != "VALUE k 0 2" {
+		t.Fatalf("header %q", got)
+	}
+	if got := string(c.read(2)); got != "v2" {
+		t.Fatalf("stale cas overwrote value: %q", got)
+	}
+	c.read(2)
+	c.line()
+
+	// CAS on an absent key is NOT_FOUND, not an insert.
+	c.send("cas nope 0 0 1 %s\r\nx\r\n", token)
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("cas on absent key -> %q", got)
 	}
 }
 

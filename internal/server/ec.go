@@ -110,7 +110,7 @@ func (s *Server) handleEncodeSet(req *wire.Request) *wire.Response {
 		cm := meta
 		cm.ChunkIndex = uint8(lc.idx)
 		payload := wire.EncodeChunkPayloadPooled(s.framePool, cm, shards[lc.idx])
-		err := s.store.Set(wire.ChunkKey(req.Key, lc.idx), payload, ttl)
+		err := s.store.SetVersioned(wire.ChunkKey(req.Key, lc.idx), payload, ttl, cm.Stripe)
 		s.framePool.Put(payload) // the store copied it
 		if err != nil {
 			localErr = err
@@ -159,16 +159,22 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 
 	// fetch attempts to retrieve the chunk set indexed by idxs;
 	// failures are tolerated (they are what parity is for), and
-	// chunks group by stripe so concurrent writes never tear.
+	// chunks group by stripe so concurrent writes never tear. The TTL
+	// each chunk holder reports is remembered per stripe so the final
+	// response can carry the remaining lifetime of the winning stripe.
+	ttlByStripe := make(map[uint64]uint32)
 	fetch := func(idxs []int) {
 		calls := make(map[int]*rpc.Call, len(idxs))
 		for _, i := range idxs {
 			addr := placement[i]
 			key := wire.ChunkKey(req.Key, i)
 			if addr == s.cfg.Addr {
-				if payload, ok := s.store.Get(key); ok {
+				if payload, _, ttl, ok := s.store.GetMeta(key); ok {
 					if meta, chunk, err := wire.DecodeChunkPayload(payload); err == nil {
 						collector.Add(meta, chunk)
+						if _, seen := ttlByStripe[meta.Stripe]; !seen {
+							ttlByStripe[meta.Stripe] = ttlSeconds(ttl)
+						}
 					}
 				}
 				continue
@@ -191,6 +197,9 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 				continue
 			}
 			collector.Add(meta, chunk)
+			if _, seen := ttlByStripe[meta.Stripe]; !seen {
+				ttlByStripe[meta.Stripe] = resp.TTLSeconds
+			}
 			retained = append(retained, resp)
 		}
 	}
@@ -200,7 +209,7 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 	if !collector.Decodable() {
 		fetch(seqInts(k, k+m))
 	}
-	_, totalLen, chunks, ok := collector.Best()
+	stripe, totalLen, chunks, ok := collector.Best()
 	if !ok {
 		return &wire.Response{Status: wire.StatusNotFound}
 	}
@@ -232,9 +241,10 @@ func (s *Server) handleDecodeGet(req *wire.Request) *wire.Response {
 		return errorResponse(err)
 	}
 	return &wire.Response{
-		Status: wire.StatusOK,
-		Value:  value,
-		Meta:   wire.ECMeta{K: uint8(k), M: uint8(m), TotalLen: totalLen},
+		Status:     wire.StatusOK,
+		Value:      value,
+		TTLSeconds: ttlByStripe[stripe],
+		Meta:       wire.ECMeta{K: uint8(k), M: uint8(m), TotalLen: totalLen, Stripe: stripe},
 	}
 }
 

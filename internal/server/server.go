@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"sync"
 	"time"
 
@@ -192,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 	for _, op := range []wire.Op{
 		wire.OpSet, wire.OpGet, wire.OpDelete, wire.OpSetChunk, wire.OpGetChunk,
 		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing, wire.OpScan,
+		wire.OpCompareSet, wire.OpFlush,
 	} {
 		s.mOps[op] = reg.Counter(fmt.Sprintf("ecstore_server_ops_total{op=%q}", op))
 	}
@@ -337,8 +339,10 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		s.mOpsUnknown.Inc()
 	}
 	resp := s.dispatch(req)
-	// Not-found is a normal cache outcome, not a server error.
-	if resp.Status != wire.StatusOK && resp.Status != wire.StatusNotFound {
+	// Not-found and a lost CAS race are normal cache outcomes, not
+	// server errors.
+	if resp.Status != wire.StatusOK && resp.Status != wire.StatusNotFound &&
+		resp.Status != wire.StatusExists {
 		s.mOpErrors.Inc()
 	}
 	return resp
@@ -349,16 +353,27 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 	case wire.OpPing:
 		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpSet, wire.OpSetChunk:
-		if err := s.store.Set(req.Key, req.Value, time.Duration(req.TTLSeconds)*time.Second); err != nil {
+		// Meta.Stripe doubles as the item version (chunk writes already
+		// carry their stripe there; whole-value writers mint one the same
+		// way), so every replica of a logical write stores one CAS token.
+		if err := s.store.SetVersioned(req.Key, req.Value, time.Duration(req.TTLSeconds)*time.Second, req.Meta.Stripe); err != nil {
 			return errorResponse(err)
 		}
-		return &wire.Response{Status: wire.StatusOK}
+		return &wire.Response{Status: wire.StatusOK, Meta: wire.ECMeta{Stripe: req.Meta.Stripe}}
 	case wire.OpGet, wire.OpGetChunk:
-		v, ok := s.store.Get(req.Key)
+		v, version, ttl, ok := s.store.GetMeta(req.Key)
 		if !ok {
 			return &wire.Response{Status: wire.StatusNotFound}
 		}
-		return &wire.Response{Status: wire.StatusOK, Value: v}
+		return &wire.Response{
+			Status: wire.StatusOK, Value: v,
+			Meta: wire.ECMeta{Stripe: version}, TTLSeconds: ttlSeconds(ttl),
+		}
+	case wire.OpCompareSet:
+		return s.handleCompareSet(req)
+	case wire.OpFlush:
+		s.store.Flush()
+		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpDelete:
 		// A delete carrying a stripe ID is conditional: it removes the
 		// chunk only if the stored chunk still belongs to that stripe.
@@ -401,6 +416,47 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 	default:
 		return &wire.Response{Status: wire.StatusError, Value: []byte("unknown op")}
 	}
+}
+
+// ttlSeconds converts a remaining lifetime to whole seconds for the
+// wire, rounding up so an item with 500ms left is not reported as
+// never-expiring (0 is the no-expiry sentinel).
+func ttlSeconds(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	secs := (ttl + time.Second - 1) / time.Second
+	if secs > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(secs)
+}
+
+// handleCompareSet implements the conditional write behind the proxy's
+// cas/add family. req.Compare is the expected stored version
+// (wire.CompareAbsent means the key must be absent) and req.Meta.Stripe
+// is the version to install. Chunk-mode requests (Meta.K > 0) tolerate
+// a missing chunk — an erasure-coded CAS must be able to re-materialise
+// a chunk that one server evicted while the stripe as a whole is still
+// readable — and the response's Meta.Stripe reports the prior version
+// so the client can tell a genuinely absent stripe from a conflict.
+func (s *Server) handleCompareSet(req *wire.Request) *wire.Response {
+	allowMissing := req.Meta.K > 0
+	ttl := time.Duration(req.TTLSeconds) * time.Second
+	out, prior, err := s.store.CompareSwap(req.Key, req.Value, ttl, req.Compare, req.Meta.Stripe, allowMissing)
+	if err != nil {
+		return errorResponse(err)
+	}
+	resp := &wire.Response{Meta: wire.ECMeta{Stripe: prior}}
+	switch out {
+	case store.CASStored:
+		resp.Status = wire.StatusOK
+	case store.CASNotFound:
+		resp.Status = wire.StatusNotFound
+	default:
+		resp.Status = wire.StatusExists
+	}
+	return resp
 }
 
 // handleScan serves one page of the keyspace: it resumes at the

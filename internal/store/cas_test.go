@@ -1,0 +1,151 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestSetVersionedGetMeta(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{Now: func() time.Time { return now }})
+	if err := s.SetVersioned("k", []byte("v"), 10*time.Second, 42); err != nil {
+		t.Fatal(err)
+	}
+	val, ver, ttl, ok := s.GetMeta("k")
+	if !ok || !bytes.Equal(val, []byte("v")) || ver != 42 {
+		t.Fatalf("GetMeta = %q, %d, %v", val, ver, ok)
+	}
+	if ttl != 10*time.Second {
+		t.Fatalf("ttl = %v", ttl)
+	}
+	now = now.Add(4 * time.Second)
+	if _, _, ttl, _ = s.GetMeta("k"); ttl != 6*time.Second {
+		t.Fatalf("remaining ttl = %v, want 6s", ttl)
+	}
+}
+
+func TestGetMetaNoExpiry(t *testing.T) {
+	s := New(Config{})
+	_ = s.SetVersioned("k", []byte("v"), 0, 7)
+	_, ver, ttl, ok := s.GetMeta("k")
+	if !ok || ver != 7 || ttl != 0 {
+		t.Fatalf("GetMeta = ver %d, ttl %v, ok %v", ver, ttl, ok)
+	}
+}
+
+func TestGetMetaExpired(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{Now: func() time.Time { return now }})
+	_ = s.SetVersioned("k", []byte("v"), time.Second, 1)
+	now = now.Add(2 * time.Second)
+	if _, _, _, ok := s.GetMeta("k"); ok {
+		t.Fatal("hit on expired key")
+	}
+	if s.Len() != 0 {
+		t.Fatal("expired entry not reaped")
+	}
+}
+
+func TestCompareSwapMatch(t *testing.T) {
+	s := New(Config{})
+	_ = s.SetVersioned("k", []byte("old"), 0, 5)
+	out, prior, err := s.CompareSwap("k", []byte("new"), 0, 5, 6, false)
+	if err != nil || out != CASStored || prior != 5 {
+		t.Fatalf("CompareSwap = %v, %d, %v", out, prior, err)
+	}
+	val, ver, _, _ := s.GetMeta("k")
+	if string(val) != "new" || ver != 6 {
+		t.Fatalf("after swap: %q version %d", val, ver)
+	}
+}
+
+func TestCompareSwapMismatch(t *testing.T) {
+	s := New(Config{})
+	_ = s.SetVersioned("k", []byte("old"), 0, 5)
+	out, prior, err := s.CompareSwap("k", []byte("new"), 0, 9, 10, false)
+	if err != nil || out != CASExists || prior != 5 {
+		t.Fatalf("CompareSwap = %v, %d, %v", out, prior, err)
+	}
+	if val, _ := s.Get("k"); string(val) != "old" {
+		t.Fatalf("value clobbered on mismatch: %q", val)
+	}
+}
+
+func TestCompareSwapAddSemantics(t *testing.T) {
+	s := New(Config{})
+	// expect 0 on an absent key inserts.
+	out, _, err := s.CompareSwap("k", []byte("v"), 0, 0, 3, false)
+	if err != nil || out != CASStored {
+		t.Fatalf("add = %v, %v", out, err)
+	}
+	// expect 0 on a present key refuses (pure add semantics).
+	out, prior, err := s.CompareSwap("k", []byte("w"), 0, 0, 4, false)
+	if err != nil || out != CASExists || prior != 3 {
+		t.Fatalf("add-on-present = %v, %d, %v", out, prior, err)
+	}
+}
+
+func TestCompareSwapAbsentStrict(t *testing.T) {
+	s := New(Config{})
+	out, _, err := s.CompareSwap("k", []byte("v"), 0, 8, 9, false)
+	if err != nil || out != CASNotFound {
+		t.Fatalf("CompareSwap = %v, %v", out, err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("strict CAS inserted on absent key")
+	}
+}
+
+func TestCompareSwapAllowMissing(t *testing.T) {
+	s := New(Config{})
+	out, _, err := s.CompareSwap("k", []byte("v"), 0, 8, 9, true)
+	if err != nil || out != CASStored {
+		t.Fatalf("allowMissing = %v, %v", out, err)
+	}
+	_, ver, _, _ := s.GetMeta("k")
+	if ver != 9 {
+		t.Fatalf("version = %d", ver)
+	}
+}
+
+func TestCompareSwapExpiredIsAbsent(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{Now: func() time.Time { return now }})
+	_ = s.SetVersioned("k", []byte("v"), time.Second, 5)
+	now = now.Add(2 * time.Second)
+	// The stored version is gone with the expiry: a strict CAS misses...
+	out, _, err := s.CompareSwap("k", []byte("w"), 0, 5, 6, false)
+	if err != nil || out != CASNotFound {
+		t.Fatalf("CompareSwap on expired = %v, %v", out, err)
+	}
+	// ...and an add succeeds.
+	out, _, err = s.CompareSwap("k", []byte("w"), 0, 0, 6, false)
+	if err != nil || out != CASStored {
+		t.Fatalf("add on expired = %v, %v", out, err)
+	}
+}
+
+func TestCompareSwapBudgetFailureKeepsOld(t *testing.T) {
+	s := New(Config{MaxBytes: 200, Shards: 1, DisableEviction: true})
+	_ = s.SetVersioned("k", []byte("old"), 0, 5)
+	big := make([]byte, 400)
+	out, prior, err := s.CompareSwap("k", big, 0, 5, 6, false)
+	if err == nil {
+		t.Fatalf("expected budget error, got %v prior %d", out, prior)
+	}
+	val, ver, _, ok := s.GetMeta("k")
+	if !ok || string(val) != "old" || ver != 5 {
+		t.Fatalf("old item lost after failed swap: %q %d %v", val, ver, ok)
+	}
+}
+
+func TestSetClearsVersion(t *testing.T) {
+	s := New(Config{})
+	_ = s.SetVersioned("k", []byte("v"), 0, 5)
+	_ = s.Set("k", []byte("w"), 0) // unconditional unversioned overwrite
+	_, ver, _, _ := s.GetMeta("k")
+	if ver != 0 {
+		t.Fatalf("version = %d after plain Set", ver)
+	}
+}

@@ -85,6 +85,7 @@ type entry struct {
 	value     []byte
 	expiresAt time.Time // zero means no expiry
 	size      int64
+	version   uint64 // CAS token; 0 for unversioned writes
 }
 
 // New returns a Store with the given configuration.
@@ -130,16 +131,30 @@ func itemSize(key string, value []byte) int64 {
 // Set stores value under key with the given TTL (0 = no expiry). The
 // value is copied. Set returns ErrOutOfMemory if the item cannot fit.
 func (s *Store) Set(key string, value []byte, ttl time.Duration) error {
-	sh := s.shardFor(key)
-	size := itemSize(key, value)
-	var expires time.Time
-	if ttl > 0 {
-		expires = s.now().Add(ttl)
-	}
+	return s.SetVersioned(key, value, ttl, 0)
+}
 
+// SetVersioned is Set with an explicit item version — the CAS token a
+// later GetMeta returns and a CompareSwap checks. Versions are chosen
+// by writers (the cluster client mints one per logical write, so every
+// replica of a key stores the same token); 0 marks an unversioned
+// write.
+func (s *Store) SetVersioned(key string, value []byte, ttl time.Duration, version uint64) error {
+	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.stats.Sets++
+	return sh.setLocked(key, value, ttl, version)
+}
+
+// setLocked stores value under key, handling eviction budgeting and
+// overwrite accounting. Caller holds sh.mu.
+func (sh *shard) setLocked(key string, value []byte, ttl time.Duration, version uint64) error {
+	size := itemSize(key, value)
+	var expires time.Time
+	if ttl > 0 {
+		expires = sh.now().Add(ttl)
+	}
 	if sh.maxBytes > 0 && size > sh.maxBytes {
 		sh.stats.Failures++
 		return ErrValueTooLarge
@@ -176,7 +191,7 @@ func (s *Store) Set(key string, value []byte, ttl time.Duration) error {
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
-	e := &entry{key: key, value: v, expiresAt: expires, size: size}
+	e := &entry{key: key, value: v, expiresAt: expires, size: size, version: version}
 	sh.items[key] = sh.lru.PushFront(e)
 	sh.used += size
 	return nil
@@ -224,6 +239,101 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	out := make([]byte, len(e.value))
 	copy(out, e.value)
 	return out, true
+}
+
+// GetMeta returns a copy of the value stored under key together with
+// its version and remaining TTL (0 = no expiry). It counts as a Get
+// for stats and LRU purposes.
+func (s *Store) GetMeta(key string) (value []byte, version uint64, ttl time.Duration, ok bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Gets++
+	el, present := sh.items[key]
+	if !present {
+		sh.stats.Misses++
+		return nil, 0, 0, false
+	}
+	e := el.Value.(*entry)
+	now := sh.now()
+	if !e.expiresAt.IsZero() && !now.Before(e.expiresAt) {
+		sh.removeLocked(el, e)
+		sh.stats.Expired++
+		sh.stats.Misses++
+		return nil, 0, 0, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.stats.Hits++
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	if !e.expiresAt.IsZero() {
+		ttl = e.expiresAt.Sub(now)
+	}
+	return out, e.version, ttl, true
+}
+
+// CASOutcome classifies the result of a CompareSwap.
+type CASOutcome int
+
+const (
+	// CASStored means the swap happened: the new value and version are
+	// in place.
+	CASStored CASOutcome = iota
+	// CASNotFound means the key was absent (or expired) and the call
+	// did not permit an insert.
+	CASNotFound
+	// CASExists means the key was present with a different version; the
+	// stored item is untouched.
+	CASExists
+)
+
+// CompareSwap atomically replaces key's value if the stored version
+// equals expect, installing the new value under version. The decision
+// and the write happen under one shard lock, so no concurrent writer
+// can slip between the check and the swap.
+//
+// When the key is absent (or lazily expired), expect==0 acts as an
+// insert-if-absent ("add"): the item is created. allowMissing also
+// permits the insert regardless of expect — the erasure-coded path
+// uses this so a CAS can succeed on servers whose chunk was lost,
+// re-materialising it. Otherwise an absent key yields CASNotFound.
+//
+// When the key is present, expect==0 (a pure add) or a version
+// mismatch yields CASExists with the stored version returned in prior.
+// Memory-budget failures surface as a non-nil error with the original
+// item left readable, same as Set.
+func (s *Store) CompareSwap(key string, value []byte, ttl time.Duration, expect, version uint64, allowMissing bool) (CASOutcome, uint64, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Sets++
+	el, present := sh.items[key]
+	if present {
+		e := el.Value.(*entry)
+		if !e.expiresAt.IsZero() && !sh.now().Before(e.expiresAt) {
+			sh.removeLocked(el, e)
+			sh.stats.Expired++
+			present = false
+		}
+	}
+	if !present {
+		if expect != 0 && !allowMissing {
+			return CASNotFound, 0, nil
+		}
+		if err := sh.setLocked(key, value, ttl, version); err != nil {
+			return CASNotFound, 0, err
+		}
+		return CASStored, 0, nil
+	}
+	e := el.Value.(*entry)
+	if expect == 0 || e.version != expect {
+		return CASExists, e.version, nil
+	}
+	prior := e.version
+	if err := sh.setLocked(key, value, ttl, version); err != nil {
+		return CASExists, prior, err
+	}
+	return CASStored, prior, nil
 }
 
 // Delete removes key, reporting whether it was present.

@@ -20,7 +20,7 @@ func pooledRange(n int) bool { return n <= 4<<20 }
 func FuzzReadRequest(f *testing.F) {
 	seed, err := AppendRequest(nil, &Request{
 		ID: 1, Op: OpSetChunk, Key: "key", Value: []byte("value"),
-		TTLSeconds: 60, Meta: ECMeta{ChunkIndex: 1, K: 3, M: 2, TotalLen: 5},
+		TTLSeconds: 60, Compare: 7, Meta: ECMeta{ChunkIndex: 1, K: 3, M: 2, TotalLen: 5},
 	})
 	if err != nil {
 		f.Fatal(err)
@@ -43,7 +43,7 @@ func FuzzReadRequest(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if again.Op != req.Op || again.Key != req.Key || again.TTLSeconds != req.TTLSeconds ||
-			again.Meta != req.Meta || !bytes.Equal(again.Value, req.Value) {
+			again.Compare != req.Compare || again.Meta != req.Meta || !bytes.Equal(again.Value, req.Value) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", req, again)
 		}
 
@@ -67,7 +67,7 @@ func FuzzReadRequest(f *testing.F) {
 			t.Fatalf("pooled re-decode failed: %v", err)
 		}
 		if pooled.Op != req.Op || pooled.Key != req.Key || pooled.Meta != req.Meta ||
-			!bytes.Equal(pooled.Value, req.Value) {
+			pooled.Compare != req.Compare || !bytes.Equal(pooled.Value, req.Value) {
 			t.Fatalf("pooled round trip mismatch")
 		}
 		pooled.Release()
@@ -80,7 +80,7 @@ func FuzzReadRequest(f *testing.F) {
 // FuzzReadResponse is the response-side twin.
 func FuzzReadResponse(f *testing.F) {
 	seed, err := AppendResponse(nil, &Response{
-		ID: 2, Status: StatusOK, Value: []byte("v"),
+		ID: 2, Status: StatusOK, Value: []byte("v"), TTLSeconds: 30,
 		Meta: ECMeta{ChunkIndex: 0, K: 3, M: 2, TotalLen: 1},
 	})
 	if err != nil {
@@ -100,7 +100,8 @@ func FuzzReadResponse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if again.Status != resp.Status || again.Meta != resp.Meta || !bytes.Equal(again.Value, resp.Value) {
+		if again.Status != resp.Status || again.Meta != resp.Meta ||
+			again.TTLSeconds != resp.TTLSeconds || !bytes.Equal(again.Value, resp.Value) {
 			t.Fatalf("round trip mismatch")
 		}
 
@@ -121,7 +122,8 @@ func FuzzReadResponse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("pooled re-decode failed: %v", err)
 		}
-		if pooled.Status != resp.Status || pooled.Meta != resp.Meta || !bytes.Equal(pooled.Value, resp.Value) {
+		if pooled.Status != resp.Status || pooled.Meta != resp.Meta ||
+			pooled.TTLSeconds != resp.TTLSeconds || !bytes.Equal(pooled.Value, resp.Value) {
 			t.Fatalf("pooled round trip mismatch")
 		}
 		pooled.Release()

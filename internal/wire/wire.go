@@ -50,19 +50,37 @@ const (
 	// with the keys and the next cursor. The anti-entropy scrubber is
 	// built on this.
 	OpScan
+	// OpCompareSet is a conditional store: the write lands only when
+	// the stored item's version matches Compare (CompareAbsent demands
+	// the key not exist). Meta.Stripe carries the version the new item
+	// is stored under. With Meta.K > 0 the request targets one erasure
+	// chunk, whose absence is tolerated (a lost chunk must not block a
+	// CAS of a still-decodable stripe); the response's Meta.Stripe
+	// reports the prior version (0 when the chunk was absent).
+	OpCompareSet
+	// OpFlush empties the receiving server's store (memcached
+	// flush_all fan-out).
+	OpFlush
 )
 
+// CompareAbsent, as OpCompareSet's Compare value, demands that the key
+// does not exist (memcached add). Stripe IDs minted by NewStripeID are
+// never zero, so the sentinel cannot collide with a real version.
+const CompareAbsent uint64 = 0
+
 var opNames = map[Op]string{
-	OpSet:       "set",
-	OpGet:       "get",
-	OpDelete:    "delete",
-	OpSetChunk:  "set-chunk",
-	OpGetChunk:  "get-chunk",
-	OpEncodeSet: "encode-set",
-	OpDecodeGet: "decode-get",
-	OpStats:     "stats",
-	OpPing:      "ping",
-	OpScan:      "scan",
+	OpSet:        "set",
+	OpGet:        "get",
+	OpDelete:     "delete",
+	OpSetChunk:   "set-chunk",
+	OpGetChunk:   "get-chunk",
+	OpEncodeSet:  "encode-set",
+	OpDecodeGet:  "decode-get",
+	OpStats:      "stats",
+	OpPing:       "ping",
+	OpScan:       "scan",
+	OpCompareSet: "compare-set",
+	OpFlush:      "flush",
 }
 
 // String returns the opcode mnemonic.
@@ -93,6 +111,9 @@ const (
 	StatusOutOfMemory
 	// StatusError carries an error message in the response value.
 	StatusError
+	// StatusExists rejects an OpCompareSet whose Compare did not match
+	// the stored version (memcached EXISTS / NOT_STORED semantics).
+	StatusExists
 )
 
 var statusNames = map[Status]string{
@@ -100,6 +121,7 @@ var statusNames = map[Status]string{
 	StatusNotFound:    "not-found",
 	StatusOutOfMemory: "out-of-memory",
 	StatusError:       "error",
+	StatusExists:      "exists",
 }
 
 // String returns the status mnemonic.
@@ -160,6 +182,10 @@ type Request struct {
 	// TTLSeconds is the item lifetime for Set-type operations;
 	// 0 means no expiry, as in memcached.
 	TTLSeconds uint32
+	// Compare is the version an OpCompareSet demands of the stored
+	// item (CompareAbsent = the key must not exist). Zero and ignored
+	// for every other op.
+	Compare uint64
 	// Meta carries EC metadata for chunk and encode/decode ops.
 	Meta ECMeta
 
@@ -215,8 +241,14 @@ type Response struct {
 	// Value is the payload for reads, or the error text when Status
 	// is StatusError.
 	Value []byte
+	// TTLSeconds is the item's remaining lifetime in whole seconds on
+	// read responses (0 = no expiry), rounded up so a sub-second
+	// remainder never reads as immortal.
+	TTLSeconds uint32
 	// Meta echoes/propagates EC metadata (a Get of a chunk returns
-	// the chunk's stored metadata so the client can decode).
+	// the chunk's stored metadata so the client can decode). For
+	// whole-value reads and writes Meta.Stripe carries the item's
+	// version — the CAS token of the memcached surface.
 	Meta ECMeta
 
 	// lease/pool back a pooled read: Value aliases lease, which Release
@@ -249,6 +281,8 @@ func (r *Response) Err() error {
 		return ErrNotFound
 	case StatusOutOfMemory:
 		return ErrOutOfMemory
+	case StatusExists:
+		return ErrExists
 	default:
 		return fmt.Errorf("wire: server error: %s", r.Value)
 	}
@@ -260,6 +294,9 @@ var (
 	ErrNotFound = errors.New("wire: key not found")
 	// ErrOutOfMemory mirrors StatusOutOfMemory.
 	ErrOutOfMemory = errors.New("wire: server out of memory")
+	// ErrExists mirrors StatusExists: the compare-set's expected
+	// version did not match the stored item.
+	ErrExists = errors.New("wire: version mismatch")
 )
 
 /*
@@ -276,6 +313,7 @@ Request:
 	u32  totalLen
 	u64  stripe
 	u32  ttlSeconds
+	u64  compare
 	u32  valueLen
 	...  key bytes
 	...  value bytes
@@ -289,13 +327,14 @@ Response:
 	u8   m
 	u32  totalLen
 	u64  stripe
+	u32  ttlSeconds
 	u32  valueLen
 	...  value bytes
 */
 
 const (
-	reqHeaderLen  = 8 + 1 + 2 + 1 + 1 + 1 + 4 + 8 + 4 + 4
-	respHeaderLen = 8 + 1 + 1 + 1 + 1 + 4 + 8 + 4
+	reqHeaderLen  = 8 + 1 + 2 + 1 + 1 + 1 + 4 + 8 + 4 + 8 + 4
+	respHeaderLen = 8 + 1 + 1 + 1 + 1 + 4 + 8 + 4 + 4
 )
 
 // checkRequestSize validates req against the frame limits.
@@ -324,6 +363,7 @@ func appendRequestHeader(buf []byte, req *Request) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, req.Meta.TotalLen)
 	buf = binary.BigEndian.AppendUint64(buf, req.Meta.Stripe)
 	buf = binary.BigEndian.AppendUint32(buf, req.TTLSeconds)
+	buf = binary.BigEndian.AppendUint64(buf, req.Compare)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Value)))
 	return append(buf, req.Key...)
 }
@@ -367,7 +407,8 @@ func parseRequest(body []byte, copyValue bool) (*Request, error) {
 		Stripe:     binary.BigEndian.Uint64(body[18:26]),
 	}
 	req.TTLSeconds = binary.BigEndian.Uint32(body[26:30])
-	valueLen := int(binary.BigEndian.Uint32(body[30:34]))
+	req.Compare = binary.BigEndian.Uint64(body[30:38])
+	valueLen := int(binary.BigEndian.Uint32(body[38:42]))
 	if !req.Op.Valid() || keyLen > MaxKeyLen || valueLen > MaxValueLen {
 		return nil, ErrMalformed
 	}
@@ -428,6 +469,7 @@ func appendResponseHeader(buf []byte, resp *Response) []byte {
 	buf = append(buf, resp.Meta.ChunkIndex, resp.Meta.K, resp.Meta.M)
 	buf = binary.BigEndian.AppendUint32(buf, resp.Meta.TotalLen)
 	buf = binary.BigEndian.AppendUint64(buf, resp.Meta.Stripe)
+	buf = binary.BigEndian.AppendUint32(buf, resp.TTLSeconds)
 	return binary.BigEndian.AppendUint32(buf, uint32(len(resp.Value)))
 }
 
@@ -466,7 +508,8 @@ func parseResponse(body []byte, copyValue bool) (*Response, error) {
 		TotalLen:   binary.BigEndian.Uint32(body[12:16]),
 		Stripe:     binary.BigEndian.Uint64(body[16:24]),
 	}
-	valueLen := int(binary.BigEndian.Uint32(body[24:28]))
+	resp.TTLSeconds = binary.BigEndian.Uint32(body[24:28])
+	valueLen := int(binary.BigEndian.Uint32(body[28:32]))
 	if valueLen > MaxValueLen {
 		return nil, ErrMalformed
 	}

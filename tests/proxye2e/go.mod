@@ -1,0 +1,11 @@
+module ecstore/tests/proxye2e
+
+go 1.22
+
+// Deliberately a separate module so the root `go test ./...` stays
+// hermetic: the conformance adapter that uses the real
+// github.com/bradfitz/gomemcache client builds only under
+// -tags gomemcache, and CI fetches that dependency with
+// `go get github.com/bradfitz/gomemcache/memcache` right before
+// running the tagged tests. The untagged tests drive the proxy over
+// raw TCP with no dependencies at all.

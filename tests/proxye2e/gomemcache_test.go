@@ -1,0 +1,156 @@
+//go:build gomemcache
+
+package proxye2e
+
+// Conformance through the canonical Go memcached client. This file
+// builds only under -tags gomemcache; CI fetches the dependency with
+//
+//	go get github.com/bradfitz/gomemcache/memcache
+//	go test -tags gomemcache ./...
+//
+// so the default (offline) build of this module stays dependency-free.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/bradfitz/gomemcache/memcache"
+)
+
+func newMC(t *testing.T) *memcache.Client {
+	t.Helper()
+	mc := memcache.New(proxyAddr)
+	mc.Timeout = 0 // library default is 100ms; cluster ops can exceed it
+	return mc
+}
+
+func TestGomemcacheSetGetDelete(t *testing.T) {
+	mc := newMC(t)
+	if err := mc.Set(&memcache.Item{Key: "gmc-basic", Value: []byte("hello"), Flags: 13}); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	it, err := mc.Get("gmc-basic")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(it.Value, []byte("hello")) || it.Flags != 13 {
+		t.Fatalf("Get = %q flags %d", it.Value, it.Flags)
+	}
+	if err := mc.Delete("gmc-basic"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := mc.Get("gmc-basic"); err != memcache.ErrCacheMiss {
+		t.Fatalf("Get after delete: %v, want ErrCacheMiss", err)
+	}
+	if err := mc.Delete("gmc-basic"); err != memcache.ErrCacheMiss {
+		t.Fatalf("re-Delete: %v, want ErrCacheMiss", err)
+	}
+}
+
+func TestGomemcacheAddReplace(t *testing.T) {
+	mc := newMC(t)
+	if err := mc.Add(&memcache.Item{Key: "gmc-add", Value: []byte("a")}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := mc.Add(&memcache.Item{Key: "gmc-add", Value: []byte("b")}); err != memcache.ErrNotStored {
+		t.Fatalf("second Add: %v, want ErrNotStored", err)
+	}
+	if err := mc.Replace(&memcache.Item{Key: "gmc-add", Value: []byte("c")}); err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	if err := mc.Replace(&memcache.Item{Key: "gmc-missing", Value: []byte("d")}); err != memcache.ErrNotStored {
+		t.Fatalf("Replace missing: %v, want ErrNotStored", err)
+	}
+}
+
+// TestGomemcacheCas is the client-library view of the CAS acceptance
+// scenario: Get (gets) then CompareAndSwap succeeds once; a second
+// CompareAndSwap with the stale item reports ErrCASConflict.
+func TestGomemcacheCas(t *testing.T) {
+	mc := newMC(t)
+	if err := mc.Set(&memcache.Item{Key: "gmc-cas", Value: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	it, err := mc.Get("gmc-cas")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	it.Value = []byte("v2")
+	if err := mc.CompareAndSwap(it); err != nil {
+		t.Fatalf("CompareAndSwap fresh: %v", err)
+	}
+	it.Value = []byte("v3")
+	if err := mc.CompareAndSwap(it); err != memcache.ErrCASConflict {
+		t.Fatalf("CompareAndSwap stale: %v, want ErrCASConflict", err)
+	}
+	got, err := mc.Get("gmc-cas")
+	if err != nil || !bytes.Equal(got.Value, []byte("v2")) {
+		t.Fatalf("after stale CAS: %q, %v", got.Value, err)
+	}
+}
+
+func TestGomemcacheIncrDecrTouch(t *testing.T) {
+	mc := newMC(t)
+	if err := mc.Set(&memcache.Item{Key: "gmc-ctr", Value: []byte("10")}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mc.Increment("gmc-ctr", 32)
+	if err != nil || n != 42 {
+		t.Fatalf("Increment = %d, %v", n, err)
+	}
+	n, err = mc.Decrement("gmc-ctr", 2)
+	if err != nil || n != 40 {
+		t.Fatalf("Decrement = %d, %v", n, err)
+	}
+	if _, err := mc.Increment("gmc-missing", 1); err != memcache.ErrCacheMiss {
+		t.Fatalf("Increment missing: %v, want ErrCacheMiss", err)
+	}
+	if err := mc.Touch("gmc-ctr", 3600); err != nil {
+		t.Fatalf("Touch: %v", err)
+	}
+	if err := mc.Touch("gmc-missing", 60); err != memcache.ErrCacheMiss {
+		t.Fatalf("Touch missing: %v, want ErrCacheMiss", err)
+	}
+}
+
+func TestGomemcacheMultiGet(t *testing.T) {
+	mc := newMC(t)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gmc-mget-%02d", i)
+		if err := mc.Set(&memcache.Item{Key: keys[i], Value: []byte(fmt.Sprintf("v%02d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	withMiss := append(append([]string{}, keys...), "gmc-mget-missing")
+	items, err := mc.GetMulti(withMiss)
+	if err != nil {
+		t.Fatalf("GetMulti: %v", err)
+	}
+	if len(items) != 64 {
+		t.Fatalf("GetMulti returned %d items, want 64", len(items))
+	}
+	for i, k := range keys {
+		if got := string(items[k].Value); got != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("items[%s] = %q", k, got)
+		}
+	}
+}
+
+func TestGomemcacheAppendPrepend(t *testing.T) {
+	mc := newMC(t)
+	if err := mc.Set(&memcache.Item{Key: "gmc-word", Value: []byte("mid")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Append(&memcache.Item{Key: "gmc-word", Value: []byte("-end")}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := mc.Prepend(&memcache.Item{Key: "gmc-word", Value: []byte("pre-")}); err != nil {
+		t.Fatalf("Prepend: %v", err)
+	}
+	it, err := mc.Get("gmc-word")
+	if err != nil || string(it.Value) != "pre-mid-end" {
+		t.Fatalf("after append/prepend: %q, %v", it.Value, err)
+	}
+}

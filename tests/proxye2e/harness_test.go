@@ -1,0 +1,154 @@
+// Package proxye2e is the end-to-end conformance suite for the
+// memcached front door: it builds the real kvserver and memproxy
+// binaries from the parent module, boots a 5-server cluster with the
+// proxy in front over real TCP, and then speaks the memcached
+// protocol at it exactly as an application would — both with a raw
+// ASCII client (no dependencies, always runs) and with the canonical
+// github.com/bradfitz/gomemcache client (under -tags gomemcache, the
+// CI configuration).
+//
+// The resilience mode defaults to era-ce-cd (K=3, M=2) and can be
+// overridden with PROXYE2E_MODE, which CI uses to run the same suite
+// against the hybrid mode as well.
+package proxye2e
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// proxyAddr is the memproxy listen address of the shared cluster,
+// set by TestMain.
+var proxyAddr string
+
+func TestMain(m *testing.M) {
+	code, err := runSuite(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proxye2e harness:", err)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+func runSuite(m *testing.M) (int, error) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		return 1, err
+	}
+	binDir, err := os.MkdirTemp("", "proxye2e-bin")
+	if err != nil {
+		return 1, err
+	}
+	defer os.RemoveAll(binDir)
+
+	kvserver := filepath.Join(binDir, "kvserver")
+	memproxy := filepath.Join(binDir, "memproxy")
+	for bin, pkg := range map[string]string{kvserver: "./cmd/kvserver", memproxy: "./cmd/memproxy"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return 1, fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	ports, err := freePorts(6)
+	if err != nil {
+		return 1, err
+	}
+	serverAddrs := make([]string, 5)
+	for i := range serverAddrs {
+		serverAddrs[i] = fmt.Sprintf("127.0.0.1:%d", ports[i])
+	}
+	peers := serverAddrs[0]
+	for _, a := range serverAddrs[1:] {
+		peers += "," + a
+	}
+	proxyAddr = fmt.Sprintf("127.0.0.1:%d", ports[5])
+
+	var procs []*exec.Cmd
+	stop := func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Kill()
+				_ = p.Wait()
+			}
+		}
+	}
+	defer stop()
+
+	for _, addr := range serverAddrs {
+		cmd := exec.Command(kvserver, "-addr", addr, "-peers", peers)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return 1, fmt.Errorf("start kvserver %s: %v", addr, err)
+		}
+		procs = append(procs, cmd)
+	}
+	for _, addr := range serverAddrs {
+		if err := waitReachable(addr, 10*time.Second); err != nil {
+			return 1, err
+		}
+	}
+
+	mode := os.Getenv("PROXYE2E_MODE")
+	if mode == "" {
+		mode = "era-ce-cd"
+	}
+	proxy := exec.Command(memproxy,
+		"-listen", proxyAddr,
+		"-servers", peers,
+		"-mode", mode,
+		"-k", "3", "-m", "2")
+	proxy.Stdout = os.Stderr
+	proxy.Stderr = os.Stderr
+	if err := proxy.Start(); err != nil {
+		return 1, fmt.Errorf("start memproxy: %v", err)
+	}
+	procs = append(procs, proxy)
+	if err := waitReachable(proxyAddr, 10*time.Second); err != nil {
+		return 1, err
+	}
+
+	return m.Run(), nil
+}
+
+// freePorts reserves n distinct TCP ports by binding and releasing
+// them. The window between release and reuse is racy in principle,
+// but the suite binds them back within milliseconds.
+func freePorts(n int) ([]int, error) {
+	ports := make([]int, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			_ = ln.Close()
+		}
+	}()
+	for len(ports) < n {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+func waitReachable(addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			_ = conn.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not reachable after %v", addr, timeout)
+}
