@@ -43,6 +43,8 @@ func run() error {
 	retries := flag.Int("retries", 0, "max retries of idempotent reads (0 = default 2, negative disables)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff, doubling with jitter (0 = default 10ms)")
 	maxItemSize := flag.Int("max-item-size", memproto.DefaultMaxItemSize, "largest item accepted over the memcached protocol, in bytes")
+	cacheBytes := flag.Int64("cache-bytes", 0, "proxy-side near-cache capacity for hot keys, in bytes (0 = disabled)")
+	cacheMaxAge := flag.Duration("cache-max-age", 0, "near-cache max entry residency, bounding cross-client staleness (0 = default 5s, negative disables the cap)")
 	metricsAddr := flag.String("metrics-addr", "", "serve proxy-side Prometheus metrics at http://<addr>/metrics (empty = disabled)")
 	pprofOn := flag.Bool("pprof", false, "also serve net/http/pprof profiles under http://<metrics-addr>/debug/pprof/")
 	scrubInterval := flag.Duration("scrub-interval", 0, "run the anti-entropy scrubber at this period (0 = disabled)")
@@ -66,6 +68,8 @@ func run() error {
 		OpTimeout:    *opTimeout,
 		MaxRetries:   *retries,
 		RetryBackoff: *retryBackoff,
+		CacheBytes:   *cacheBytes,
+		CacheMaxAge:  *cacheMaxAge,
 	})
 	if err != nil {
 		return err
@@ -109,6 +113,9 @@ func run() error {
 	ln, err := transport.TCP{}.Listen(*listen)
 	if err != nil {
 		return err
+	}
+	if *cacheBytes > 0 {
+		log.Printf("memproxy: near cache enabled, %d bytes, max age %v", *cacheBytes, *cacheMaxAge)
 	}
 	srv := memproto.Serve(ln, &memproto.ClusterBackend{Client: client, StatsAddrs: addrs},
 		memproto.WithMaxItemSize(*maxItemSize),

@@ -9,6 +9,7 @@ import (
 
 	"ecstore/internal/hashring"
 	"ecstore/internal/metrics"
+	"ecstore/internal/nearcache"
 	"ecstore/internal/rpc"
 	"ecstore/internal/stats"
 	"ecstore/internal/store"
@@ -45,6 +46,13 @@ type Client struct {
 	// protocol behaviour rather than buffering convenience.
 	window chan struct{}
 
+	// flight coalesces concurrent reads of one key into a single
+	// strategy fetch; cache is the optional version-stamped near cache
+	// over logical values (nil unless Config.CacheBytes > 0). Together
+	// they are the hot-key read-scaling layer of DESIGN §11.
+	flight nearcache.Group
+	cache  *nearcache.Cache
+
 	// Metric handles resolved once at construction; the strategies
 	// record through these on every operation.
 	ops            map[string]*opMetrics
@@ -56,6 +64,11 @@ type Client struct {
 	mReconstructs  *metrics.Counter
 	mScans         *metrics.Counter
 	mScanUnreached *metrics.Counter
+	mCoalesced     *metrics.Counter
+
+	// sleep overrides the retry-backoff sleep (tests only; time.Sleep
+	// when nil).
+	sleep func(time.Duration)
 
 	mu     sync.Mutex
 	closed bool
@@ -136,6 +149,12 @@ func New(cfg Config) (*Client, error) {
 		mReconstructs:  reg.Counter("ecstore_client_reconstructions_total"),
 		mScans:         reg.Counter("ecstore_client_scans_total"),
 		mScanUnreached: reg.Counter("ecstore_client_scan_servers_unreached_total"),
+		mCoalesced:     reg.Counter("ecstore_client_coalesced_reads_total"),
+		cache: nearcache.New(nearcache.Config{
+			MaxBytes: cfg.CacheBytes,
+			MaxAge:   cfg.CacheMaxAge,
+			Metrics:  reg,
+		}),
 	}
 	for _, s := range cfg.Servers {
 		c.ring.Add(s)
@@ -239,6 +258,7 @@ func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
 	f := newFuture()
 	return c.submit(f, c.measured("set", func() (Item, error) {
 		version, err := c.strat.set(key, value, ttl)
+		c.invalidate(key)
 		return Item{Version: version}, err
 	}))
 }
@@ -247,7 +267,7 @@ func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
 func (c *Client) IGet(key string) *Future {
 	f := newFuture()
 	return c.submit(f, c.measured("get", func() (Item, error) {
-		return c.strat.get(key)
+		return c.readThrough(key)
 	}))
 }
 
@@ -255,7 +275,9 @@ func (c *Client) IGet(key string) *Future {
 func (c *Client) IDelete(key string) *Future {
 	f := newFuture()
 	return c.submit(f, c.measured("delete", func() (Item, error) {
-		return Item{}, c.strat.del(key)
+		err := c.strat.del(key)
+		c.invalidate(key)
+		return Item{}, err
 	}))
 }
 
@@ -267,6 +289,10 @@ func (c *Client) ICas(key string, value []byte, ttl time.Duration, cas uint64) *
 	f := newFuture()
 	return c.submit(f, c.measured("cas", func() (Item, error) {
 		version, err := c.strat.compareSet(key, value, ttl, cas)
+		// Invalidate on every outcome: success installed a new
+		// version, a conflict is an EXISTS observation proving the
+		// cached version stale, and on failure the state is unknown.
+		c.invalidate(key)
 		return Item{Version: version}, err
 	}))
 }
@@ -327,6 +353,7 @@ func (c *Client) SetVersion(key string, value []byte, ttl time.Duration) (uint64
 // memcached `flush_all`. All servers are attempted; the first error is
 // returned.
 func (c *Client) FlushAll() error {
+	c.cache.InvalidateAll()
 	var firstErr error
 	for _, addr := range c.cfg.Servers {
 		resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpFlush, Key: "flush"})
@@ -335,6 +362,9 @@ func (c *Client) FlushAll() error {
 			firstErr = fmt.Errorf("core: flush %s: %w", addr, err)
 		}
 	}
+	// Again after the flush has landed: a read that raced the loop may
+	// have re-filled a pre-flush value.
+	c.cache.InvalidateAll()
 	return firstErr
 }
 

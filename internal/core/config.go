@@ -125,6 +125,10 @@ const (
 	// DefaultRetryBackoff is the initial delay before the first retry;
 	// it doubles per attempt with jitter.
 	DefaultRetryBackoff = 10 * time.Millisecond
+	// DefaultCacheMaxAge caps how long the near cache may serve any
+	// entry when CacheBytes enables it, bounding cross-client
+	// staleness even for items with no TTL of their own.
+	DefaultCacheMaxAge = 5 * time.Second
 )
 
 // Config configures a Client.
@@ -164,6 +168,19 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry, doubling with
 	// jitter per attempt (DefaultRetryBackoff if zero).
 	RetryBackoff time.Duration
+	// CacheBytes enables the client-side near cache: a size-bounded
+	// LRU over logical values, stamped with the stripe version each
+	// value was read at, invalidated on local Set/Cas/Delete, on
+	// observed version mismatch, and on TTL expiry (DESIGN §11). Hot
+	// zipfian reads are served from local memory instead of dialing
+	// the key's home server. 0 disables caching (reads still coalesce
+	// through the singleflight group).
+	CacheBytes int64
+	// CacheMaxAge caps how long any cached entry may be served
+	// regardless of its item TTL — the bound on cross-client staleness
+	// (DefaultCacheMaxAge if zero; negative removes the cap so only
+	// item TTLs and invalidations expire entries).
+	CacheMaxAge time.Duration
 	// Metrics is the registry the client publishes its always-on
 	// observability into: per-op counts and latencies, per-phase
 	// latency histograms (the Figure 9 breakdown), degraded reads,
@@ -222,6 +239,15 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.CacheBytes < 0 {
+		cfg.CacheBytes = 0
+	}
+	switch {
+	case cfg.CacheMaxAge == 0:
+		cfg.CacheMaxAge = DefaultCacheMaxAge
+	case cfg.CacheMaxAge < 0:
+		cfg.CacheMaxAge = 0 // no residency cap
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()

@@ -1,0 +1,298 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/bufpool"
+	"ecstore/internal/core"
+)
+
+// poolDelta snapshots the outstanding-lease delta of the shared frame
+// pool (gets minus puts). Storm tests assert the delta returns to its
+// pre-test baseline: coalesced waiters must never retain or
+// double-release a pooled buffer.
+func poolDelta() uint64 {
+	st := bufpool.Default.Stats()
+	return st.Gets - st.Puts
+}
+
+func waitPoolBaseline(t *testing.T, baseline uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if poolDelta() == baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frame pool lease imbalance: outstanding delta %d, baseline %d",
+				poolDelta(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A storm of concurrent Gets of one hot key: every waiter must receive
+// the correct full value (its own copy — mutations must not leak
+// between waiters), at least some requests must coalesce, and the
+// frame pool must balance. Run under -race this is the singleflight
+// correctness gate.
+func TestSingleflightGetStorm(t *testing.T) {
+	for _, mode := range []string{"era-ce-cd", "sync-rep"} {
+		t.Run(mode, func(t *testing.T) {
+			baseline := poolDelta()
+			// A netem delay on every server makes each cluster read take
+			// at least 2 ms, so concurrent Gets deterministically overlap
+			// in-flight reads instead of racing past each other on the
+			// instant in-process transport.
+			cl, netem := startNetemCluster(t, 5)
+			for _, addr := range cl.Addrs() {
+				netem.Delay(addr, 2*time.Millisecond)
+			}
+			cfg := allModes()[mode]
+			cfg.Window = 1024
+			c := newClient(t, cl, cfg)
+
+			value := bytes.Repeat([]byte("hotvalue"), 1024) // 8 KB
+			if err := c.Set("hot", value); err != nil {
+				t.Fatal(err)
+			}
+
+			const goroutines = 64
+			const rounds = 8
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						got, err := c.Get("hot")
+						if err != nil {
+							t.Errorf("goroutine %d round %d: %v", g, r, err)
+							return
+						}
+						if !bytes.Equal(got, value) {
+							t.Errorf("goroutine %d round %d: wrong value (%d bytes)", g, r, len(got))
+							return
+						}
+						// Scribble on the result: each waiter owns its
+						// bytes, so this must not affect anyone else.
+						got[0] = byte(g)
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			coalesced := c.Metrics().Snapshot().Counter("ecstore_client_coalesced_reads_total")
+			if coalesced == 0 {
+				t.Error("no reads coalesced during a 64-goroutine hot-key storm")
+			}
+			t.Logf("%s: %d of %d reads coalesced", mode, coalesced, goroutines*rounds)
+			waitPoolBaseline(t, baseline)
+		})
+	}
+}
+
+// Near-cache invalidation on CAS conflict: once a conditional write
+// observes EXISTS, the stale cached version must never be served
+// again — the next read must refetch the authoritative value.
+func TestNearCacheInvalidatedOnCASConflict(t *testing.T) {
+	cl := startCluster(t, 5)
+
+	cfg := allModes()["era-ce-cd"]
+	cfg.CacheBytes = 1 << 20
+	cfg.CacheMaxAge = -1 // no residency cap: only invalidations expire entries
+	cached := newClient(t, cl, cfg)
+	writer := newClient(t, cl, allModes()["era-ce-cd"])
+
+	old := bytes.Repeat([]byte("old"), 1000)
+	if err := cached.Set("k", old); err != nil {
+		t.Fatal(err)
+	}
+	item, err := cached.Gets("k") // fills the near cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleToken := item.Version
+
+	// Another client overwrites: the cached entry is now stale.
+	fresh := bytes.Repeat([]byte("new"), 1000)
+	freshVersion, err := writer.SetVersion("k", fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The cache, knowing nothing of the remote write, still serves the
+	// old value — the documented bounded-staleness window.
+	if got, err := cached.Get("k"); err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("expected cached stale read, got %d bytes, err %v", len(got), err)
+	}
+
+	// A conditional write on the stale token observes EXISTS...
+	if _, err := cached.Cas("k", []byte("update"), 0, staleToken); !errors.Is(err, core.ErrCASConflict) {
+		t.Fatalf("Cas on stale token: err = %v, want ErrCASConflict", err)
+	}
+
+	// ...and from that observation on, the stale version must be gone.
+	item, err = cached.Gets("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(item.Value, fresh) {
+		t.Fatalf("stale value served after EXISTS observation")
+	}
+	if item.Version != freshVersion {
+		t.Fatalf("stale version %d served after EXISTS observation, want %d",
+			item.Version, freshVersion)
+	}
+}
+
+// Local writes invalidate the cache even while a read storm keeps
+// refilling it: readers may see old or new, but never a torn value,
+// and after the last write settles every read must return the final
+// value (read-your-writes for the writing client).
+func TestNearCacheWriteStormConsistency(t *testing.T) {
+	cl := startCluster(t, 5)
+	cfg := allModes()["era-ce-cd"]
+	cfg.CacheBytes = 1 << 20
+	cfg.Window = 512
+	c := newClient(t, cl, cfg)
+
+	mk := func(tag byte) []byte { return bytes.Repeat([]byte{tag}, 4096) }
+	if err := c.Set("k", mk('a')); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := c.Get("k")
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				// Complete values only: all bytes identical.
+				for i := 1; i < len(got); i++ {
+					if got[i] != got[0] {
+						t.Errorf("torn value: byte %d is %q, byte 0 is %q", i, got[i], got[0])
+						return
+					}
+				}
+			}
+		}()
+	}
+	var final []byte
+	for i := 0; i < 20; i++ {
+		final = mk(byte('a' + i%8))
+		if err := c.Set("k", final); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Read-your-writes: the writer's own next read sees its last write.
+	got, err := c.Get("k")
+	if err != nil || !bytes.Equal(got, final) {
+		t.Fatalf("after write storm: got %d bytes (err %v), want final value", len(got), err)
+	}
+}
+
+// The near cache actually absorbs hot reads: repeated Gets of one key
+// must hit memory, not the wire.
+func TestNearCacheAbsorbsHotReads(t *testing.T) {
+	cl := startCluster(t, 5)
+	cfg := allModes()["era-ce-cd"]
+	cfg.CacheBytes = 1 << 20
+	c := newClient(t, cl, cfg)
+
+	if err := c.Set("hot", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	const reads = 200
+	for i := 0; i < reads; i++ {
+		if _, err := c.Get("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Metrics().Snapshot()
+	hits := snap.Counter("ecstore_client_nearcache_hits_total")
+	if hits < reads-1 {
+		t.Fatalf("nearcache hits = %d, want >= %d", hits, reads-1)
+	}
+	// TTL still respected through the cache: a short-lived item must
+	// stop being served once its lifetime passes, even when cached.
+	if err := c.SetTTL("ephemeral", []byte("v"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("ephemeral"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.Get("ephemeral")
+		if errors.Is(err, core.ErrNotFound) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cached entry still served after its TTL expired")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// MGet rides the same read-through path: hot keys in a batch are
+// served from the cache and invalidated by local writes.
+func TestNearCacheMGet(t *testing.T) {
+	cl := startCluster(t, 5)
+	cfg := allModes()["sync-rep"]
+	cfg.CacheBytes = 1 << 20
+	c := newClient(t, cl, cfg)
+
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+		if err := c.Set(keys[i], []byte(keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		got, err := c.MGet(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if string(got[k]) != k {
+				t.Fatalf("round %d: key %s = %q", round, k, got[k])
+			}
+		}
+	}
+	if hits := c.Metrics().Snapshot().Counter("ecstore_client_nearcache_hits_total"); hits == 0 {
+		t.Fatal("MGet never hit the near cache")
+	}
+	if err := c.Set(keys[0], []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MGet(keys[:1])
+	if err != nil || string(got[keys[0]]) != "updated" {
+		t.Fatalf("MGet after write: %q, err %v", got[keys[0]], err)
+	}
+}

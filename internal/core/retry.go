@@ -26,18 +26,40 @@ func retriable(err error) bool {
 // silently retried once any chunk or replica write has been issued,
 // because the first attempt may have partially (or wholly) landed.
 func (c *Client) withRetry(op func() error) error {
-	backoff := c.cfg.RetryBackoff
+	// Clamp the starting point too: a Config.RetryBackoff above the
+	// cap would otherwise make the first sleep exceed it.
+	backoff := min(c.cfg.RetryBackoff, retryBackoffCap)
 	for attempt := 0; ; attempt++ {
 		err := op()
 		if err == nil || attempt >= c.cfg.MaxRetries || !retriable(err) {
 			return err
 		}
 		c.mRetries.Inc()
-		time.Sleep(retryJitter(backoff))
-		if backoff < retryBackoffCap {
-			backoff *= 2
-		}
+		c.retrySleep(retryJitter(backoff))
+		backoff = nextBackoff(backoff)
 	}
+}
+
+// nextBackoff doubles the backoff base, clamping AFTER the
+// multiplication so no sleep's base ever exceeds retryBackoffCap.
+// (Clamping before doubling — `if backoff < cap { backoff *= 2 }` —
+// let a base just under the cap pass the check and then double,
+// overshooting the cap by up to 2x before jitter.)
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	return d
+}
+
+// retrySleep sleeps d, through the test hook when one is installed.
+func (c *Client) retrySleep(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // retryJitter spreads d over [d/2, 3d/2) so concurrent operations that

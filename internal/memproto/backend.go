@@ -120,5 +120,11 @@ func (b *ClusterBackend) Stats() map[string]string {
 	out["get_hits"] = strconv.FormatInt(hits, 10)
 	out["get_misses"] = strconv.FormatInt(misses, 10)
 	out["evictions"] = strconv.FormatInt(evictions, 10)
+	// Client-side hot-key read scaling (DESIGN §11): how much of the
+	// read load the proxy absorbed without dialing the cluster.
+	snap := b.Client.Metrics().Snapshot()
+	out["nearcache_hits"] = strconv.FormatInt(snap.Counter("ecstore_client_nearcache_hits_total"), 10)
+	out["nearcache_misses"] = strconv.FormatInt(snap.Counter("ecstore_client_nearcache_misses_total"), 10)
+	out["coalesced_reads"] = strconv.FormatInt(snap.Counter("ecstore_client_coalesced_reads_total"), 10)
 	return out
 }

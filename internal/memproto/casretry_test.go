@@ -1,0 +1,94 @@
+package memproto_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ecstore/internal/memproto"
+	"ecstore/internal/metrics"
+)
+
+// contendedBackend loses every conditional write: Cas always answers
+// ErrCASConflict, simulating a key so hot another writer wins each
+// read-modify-write race. The RMW loops behind replace/append/prepend/
+// incr/decr/touch/ma must terminate after their bounded retry budget,
+// answer SERVER_ERROR, and bump the exhaustion counter.
+type contendedBackend struct {
+	*fakeBackend
+	casCalls int
+}
+
+func (b *contendedBackend) Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error) {
+	b.mu.Lock()
+	b.casCalls++
+	b.mu.Unlock()
+	return 0, memproto.ErrCASConflict
+}
+
+func TestCasRetriesExhaustedBoundedAndCounted(t *testing.T) {
+	cases := []struct {
+		name   string
+		script string
+	}{
+		{"incr", "incr k 1\r\n"},
+		{"decr", "decr k 1\r\n"},
+		{"touch", "touch k 60\r\n"},
+		{"replace", "replace k 0 0 1\r\n9\r\n"},
+		{"append", "append k 0 0 1\r\n9\r\n"},
+		{"prepend", "prepend k 0 0 1\r\n9\r\n"},
+		{"meta-arith", "ma k\r\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			b := &contendedBackend{fakeBackend: newFakeBackend()}
+			b.store("k", []byte{0, 0, 0, 0, '5'})
+
+			out := runScript(t, b, tc.script+"quit\r\n", memproto.WithMetrics(reg))
+
+			if !strings.Contains(out, "SERVER_ERROR cas retries exhausted on k\r\n") {
+				t.Fatalf("%s under permanent contention answered %q, want SERVER_ERROR", tc.name, out)
+			}
+			// Terminated after the bounded budget — not an unbounded spin.
+			if b.casCalls > 16 {
+				t.Fatalf("%s issued %d conditional writes before giving up", tc.name, b.casCalls)
+			}
+			if got := reg.Snapshot().Counter("ecstore_proxy_cas_retries_exhausted_total"); got != 1 {
+				t.Fatalf("exhaustion counter = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// A single lost race must NOT surface: the loop re-reads and retries,
+// so transient contention stays invisible to the client.
+type onceContendedBackend struct {
+	*fakeBackend
+	conflicts int
+}
+
+func (b *onceContendedBackend) Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error) {
+	b.mu.Lock()
+	if b.conflicts == 0 {
+		b.conflicts++
+		b.mu.Unlock()
+		return 0, memproto.ErrCASConflict
+	}
+	b.mu.Unlock()
+	return b.fakeBackend.Cas(key, value, ttl, cas)
+}
+
+func TestCasRetryAbsorbsTransientConflict(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := &onceContendedBackend{fakeBackend: newFakeBackend()}
+	b.store("k", []byte{0, 0, 0, 0, '5'})
+
+	out := runScript(t, b, "incr k 2\r\nquit\r\n", memproto.WithMetrics(reg))
+	if !strings.HasPrefix(out, "7\r\n") {
+		t.Fatalf("incr after one lost race answered %q, want 7", out)
+	}
+	if got := reg.Snapshot().Counter("ecstore_proxy_cas_retries_exhausted_total"); got != 0 {
+		t.Fatalf("exhaustion counter = %d after a recovered retry, want 0", got)
+	}
+}

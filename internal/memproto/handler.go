@@ -23,7 +23,20 @@ const casRetries = 8
 var (
 	errQuit        = errors.New("memproto: quit")
 	errLineTooLong = errors.New("memproto: line too long")
+
+	// errCasExhausted marks an RMW loop that lost its conditional write
+	// casRetries times in a row. It reaches the client as SERVER_ERROR
+	// (the operation did NOT happen — retryable by the caller) and is
+	// counted separately so hot-key contention is visible in metrics
+	// rather than folded into generic command errors.
+	errCasExhausted = errors.New("cas retries exhausted")
 )
+
+// casExhausted builds the per-key exhaustion error every bounded RMW
+// loop returns, keeping the sentinel testable via errors.Is.
+func casExhausted(key string) error {
+	return fmt.Errorf("%w on %s", errCasExhausted, key)
+}
 
 // Handler executes memcached ASCII protocol conversations over any
 // reader/writer pair. Splitting it from Server keeps the protocol
@@ -382,7 +395,7 @@ func (h *Handler) storeExisting(cmd, key string, flags uint32, ttl time.Duration
 			return "", err
 		}
 	}
-	return "", fmt.Errorf("cas retries exhausted on %s", key)
+	return "", casExhausted(key)
 }
 
 // ---- delete / arithmetic / touch / flush ----
@@ -469,7 +482,7 @@ func (h *Handler) handleIncrDecr(bw *bufio.Writer, cmd string, args []string) (b
 			return false, true, nil
 		}
 	}
-	h.serverError(bw, noreply, fmt.Errorf("cas retries exhausted on %s", key))
+	h.serverError(bw, noreply, casExhausted(key))
 	return false, true, nil
 }
 
@@ -516,7 +529,7 @@ func (h *Handler) handleTouch(bw *bufio.Writer, args []string) (bool, bool, erro
 			return false, true, nil
 		}
 	}
-	h.serverError(bw, noreply, fmt.Errorf("cas retries exhausted on %s", key))
+	h.serverError(bw, noreply, casExhausted(key))
 	return false, true, nil
 }
 
@@ -590,7 +603,13 @@ func (h *Handler) clientError(bw *bufio.Writer, noreply bool, msg string) {
 	}
 }
 
+// serverError is the single funnel every backend failure reaches the
+// wire through, which makes it the one place to classify them for
+// metrics (exhausted RMW loops get their own counter).
 func (h *Handler) serverError(bw *bufio.Writer, noreply bool, err error) {
+	if h.pm != nil && errors.Is(err, errCasExhausted) {
+		h.pm.casExhausted.Inc()
+	}
 	if !noreply {
 		writeString(bw, "SERVER_ERROR "+sanitize(err.Error())+"\r\n")
 	}

@@ -344,7 +344,7 @@ func (h *Handler) handleMetaArith(bw *bufio.Writer, args []string) (bool, bool, 
 			return false, true, nil
 		}
 	}
-	h.serverError(bw, false, errors.New("cas retries exhausted on "+key))
+	h.serverError(bw, false, casExhausted(key))
 	return false, true, nil
 }
 

@@ -29,24 +29,26 @@ type cmdMetrics struct {
 // per-command throughput, failure counts and latency, the get
 // hit/miss split, connection count, and raw protocol bytes moved.
 type proxyMetrics struct {
-	cmds        map[string]*cmdMetrics
-	hits        *metrics.Counter
-	misses      *metrics.Counter
-	bytesIn     *metrics.Counter
-	bytesOut    *metrics.Counter
-	connsActive *metrics.Gauge
-	connsTotal  *metrics.Counter
+	cmds         map[string]*cmdMetrics
+	hits         *metrics.Counter
+	misses       *metrics.Counter
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	connsActive  *metrics.Gauge
+	connsTotal   *metrics.Counter
+	casExhausted *metrics.Counter
 }
 
 func newProxyMetrics(reg *metrics.Registry) *proxyMetrics {
 	pm := &proxyMetrics{
-		cmds:        make(map[string]*cmdMetrics, len(knownCommands)),
-		hits:        reg.Counter("ecstore_proxy_get_hits_total"),
-		misses:      reg.Counter("ecstore_proxy_get_misses_total"),
-		bytesIn:     reg.Counter("ecstore_proxy_bytes_read_total"),
-		bytesOut:    reg.Counter("ecstore_proxy_bytes_written_total"),
-		connsActive: reg.Gauge("ecstore_proxy_connections_active"),
-		connsTotal:  reg.Counter("ecstore_proxy_connections_total"),
+		cmds:         make(map[string]*cmdMetrics, len(knownCommands)),
+		hits:         reg.Counter("ecstore_proxy_get_hits_total"),
+		misses:       reg.Counter("ecstore_proxy_get_misses_total"),
+		bytesIn:      reg.Counter("ecstore_proxy_bytes_read_total"),
+		bytesOut:     reg.Counter("ecstore_proxy_bytes_written_total"),
+		connsActive:  reg.Gauge("ecstore_proxy_connections_active"),
+		connsTotal:   reg.Counter("ecstore_proxy_connections_total"),
+		casExhausted: reg.Counter("ecstore_proxy_cas_retries_exhausted_total"),
 	}
 	for _, cmd := range knownCommands {
 		pm.cmds[cmd] = &cmdMetrics{

@@ -1,0 +1,397 @@
+// Package nearcache is the client-side hot-key read-scaling layer: a
+// singleflight group that coalesces concurrent reads of one key into a
+// single backend fetch, and a size-bounded, version-stamped LRU over
+// logical values that lets a proxy tier absorb zipfian hot reads
+// instead of collapsing the key's home server (ROADMAP item 2; the
+// design follows the lease/invalidate discipline of Nishtala et al.,
+// "Scaling Memcache at Facebook").
+//
+// Consistency contract: every cached value carries the stripe version
+// it was read at — the same token the CAS machinery checks — so a
+// stale entry is self-correcting: a conditional write based on it
+// fails with EXISTS, which invalidates the entry. Entries are
+// invalidated eagerly on local Set/Cas/Delete, on observed version
+// mismatch, and on TTL expiry; a fill races a concurrent invalidation
+// through per-slot generation counters (Begin/Put), so an invalidation
+// between fetch and fill wins and the stale fill is dropped. What a
+// client reads is therefore monotonic with respect to its own writes;
+// cross-client staleness is bounded by MaxAge/TTL and corrected by the
+// version stamp on the first conditional write.
+//
+// Lease discipline: values handed out and taken in are always copies.
+// Put copies the caller's bytes (which may alias a pooled frame about
+// to be released), Get returns a fresh copy per caller (callers may
+// mutate their result), and the singleflight group copies the leader's
+// result for every coalesced waiter before the leader's own return
+// value escapes — no released or shared buffer is ever visible to two
+// owners.
+package nearcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"ecstore/internal/metrics"
+)
+
+// genSlots is the size of the striped generation table guarding fills
+// against concurrent invalidations. Collisions are safe (a colliding
+// invalidation drops an unrelated in-flight fill, never serves stale
+// data) and at 1024 slots rare enough not to matter.
+const genSlots = 1024
+
+// entryOverhead approximates the per-entry bookkeeping cost charged
+// against MaxBytes on top of key and value bytes.
+const entryOverhead = 64
+
+// Value is a cached logical value: the payload bytes, the stripe
+// version they were read at (the CAS token), and the remaining TTL in
+// whole seconds at the time of the read (0 = no expiry).
+type Value struct {
+	Data    []byte
+	Version uint64
+	TTL     uint32
+}
+
+type entry struct {
+	key      string
+	data     []byte
+	version  uint64
+	deadline time.Time // zero = no expiry
+	charge   int64
+}
+
+// Config configures a Cache.
+type Config struct {
+	// MaxBytes bounds the total charge (key + value + overhead) of
+	// cached entries; the least recently used entries are evicted to
+	// stay under it. Required (> 0).
+	MaxBytes int64
+	// MaxAge caps how long any entry may be served regardless of its
+	// item TTL — a safety valve on cross-client staleness
+	// (0 = no cap).
+	MaxAge time.Duration
+	// Metrics receives the cache's hit/miss/eviction/invalidation
+	// counters and size gauges (nil discards them).
+	Metrics *metrics.Registry
+	// Now overrides the clock (tests only; time.Now if nil).
+	Now func() time.Time
+}
+
+// Cache is the size-bounded version-stamped LRU. A nil *Cache is valid
+// and behaves as an always-miss cache, so callers can thread an
+// optional cache without nil checks. Caches are safe for concurrent
+// use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int64
+	maxAge  time.Duration
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	gens    [genSlots]uint64
+	now     func() time.Time
+
+	hits          *metrics.Counter
+	misses        *metrics.Counter
+	evictions     *metrics.Counter
+	invalidations *metrics.Counter
+	fillsDropped  *metrics.Counter
+	bytesGauge    *metrics.Gauge
+	itemsGauge    *metrics.Gauge
+}
+
+// New returns a Cache; nil if cfg.MaxBytes <= 0 (caching disabled).
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		return nil
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	reg := cfg.Metrics
+	return &Cache{
+		max:           cfg.MaxBytes,
+		maxAge:        cfg.MaxAge,
+		ll:            list.New(),
+		entries:       make(map[string]*list.Element),
+		now:           now,
+		hits:          reg.Counter("ecstore_client_nearcache_hits_total"),
+		misses:        reg.Counter("ecstore_client_nearcache_misses_total"),
+		evictions:     reg.Counter("ecstore_client_nearcache_evictions_total"),
+		invalidations: reg.Counter("ecstore_client_nearcache_invalidations_total"),
+		fillsDropped:  reg.Counter("ecstore_client_nearcache_fills_dropped_total"),
+		bytesGauge:    reg.Gauge("ecstore_client_nearcache_bytes"),
+		itemsGauge:    reg.Gauge("ecstore_client_nearcache_items"),
+	}
+}
+
+func genSlot(key string) int {
+	// FNV-1a over the key bytes; inlined to keep the hot path
+	// allocation-free.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % genSlots)
+}
+
+// Begin opens a fill attempt for key: the returned generation must be
+// passed to Put, which drops the fill if any invalidation of the key
+// (or a slot collision) happened in between. Call it BEFORE issuing
+// the backend read the fill's value comes from.
+func (c *Cache) Begin(key string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	g := c.gens[genSlot(key)]
+	c.mu.Unlock()
+	return g
+}
+
+// Get returns a copy of the cached value for key. A miss, an expired
+// entry, or an entry past MaxAge returns ok = false (expired entries
+// are dropped). The returned Value's TTL is the remaining lifetime in
+// whole seconds, rounded up.
+func (c *Cache) Get(key string) (Value, bool) {
+	if c == nil {
+		return Value{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		c.mu.Unlock()
+		return Value{}, false
+	}
+	e := el.Value.(*entry)
+	var remaining uint32
+	if !e.deadline.IsZero() {
+		left := e.deadline.Sub(c.now())
+		if left <= 0 {
+			c.removeLocked(el)
+			c.misses.Inc()
+			c.mu.Unlock()
+			return Value{}, false
+		}
+		remaining = uint32((left + time.Second - 1) / time.Second)
+	}
+	c.ll.MoveToFront(el)
+	v := Value{
+		Data:    append([]byte(nil), e.data...),
+		Version: e.version,
+		TTL:     remaining,
+	}
+	c.hits.Inc()
+	c.mu.Unlock()
+	return v, true
+}
+
+// Put installs a copy of v under key, unless an invalidation of key
+// happened since gen was read with Begin (the fill lost the race and
+// is dropped — installing it would resurrect a value a local write
+// just overtook). Values too large to ever fit are rejected. Evicts
+// least-recently-used entries until the cache fits MaxBytes again.
+func (c *Cache) Put(key string, v Value, gen uint64) {
+	if c == nil {
+		return
+	}
+	charge := int64(len(key)) + int64(len(v.Data)) + entryOverhead
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if charge > c.max {
+		return
+	}
+	if c.gens[genSlot(key)] != gen {
+		c.fillsDropped.Inc()
+		return
+	}
+	var deadline time.Time
+	if v.TTL > 0 {
+		deadline = c.now().Add(time.Duration(v.TTL) * time.Second)
+	}
+	if c.maxAge > 0 {
+		ageCap := c.now().Add(c.maxAge)
+		if deadline.IsZero() || ageCap.Before(deadline) {
+			deadline = ageCap
+		}
+	}
+	e := &entry{
+		key:      key,
+		data:     append([]byte(nil), v.Data...),
+		version:  v.Version,
+		deadline: deadline,
+		charge:   charge,
+	}
+	if el, ok := c.entries[key]; ok {
+		c.used -= el.Value.(*entry).charge
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(e)
+	}
+	c.used += charge
+	for c.used > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions.Inc()
+	}
+	c.bytesGauge.Set(c.used)
+	c.itemsGauge.Set(int64(len(c.entries)))
+}
+
+// Invalidate drops key and bumps its generation slot, so any fill in
+// flight (Begin called before this) is dropped at Put.
+func (c *Cache) Invalidate(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gens[genSlot(key)]++
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+		c.invalidations.Inc()
+	}
+	c.mu.Unlock()
+}
+
+// InvalidateAll empties the cache and bumps every generation slot
+// (flush_all).
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for i := range c.gens {
+		c.gens[i]++
+	}
+	n := int64(len(c.entries))
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+	c.used = 0
+	c.invalidations.Add(n)
+	c.bytesGauge.Set(0)
+	c.itemsGauge.Set(0)
+	c.mu.Unlock()
+}
+
+// Observe reports an authoritative (key, version) sighting from any
+// response — a read, an EXISTS conflict carrying the current version,
+// a scan. If the cached entry disagrees it is invalidated: the entry
+// is provably stale.
+func (c *Cache) Observe(key string, version uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok && el.Value.(*entry).version != version {
+		c.gens[genSlot(key)]++
+		c.removeLocked(el)
+		c.invalidations.Inc()
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the current charged size.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.used -= e.charge
+	c.bytesGauge.Set(c.used)
+	c.itemsGauge.Set(int64(len(c.entries)))
+}
+
+// ---- singleflight ----
+
+type flightResult struct {
+	v   Value
+	err error
+}
+
+type flight struct {
+	waiters []chan flightResult
+}
+
+// Group coalesces concurrent fetches of one key: the first caller (the
+// leader) runs fn; callers arriving while it is in flight wait and
+// receive the leader's result instead of dialing themselves. The zero
+// Group is ready to use.
+//
+// Ownership: each waiter receives its own copy of the result bytes,
+// made by the leader BEFORE its own return value escapes — so no two
+// callers ever share a buffer, and fn's result may alias memory the
+// leader's caller will mutate. Errors are shared as-is (errors are
+// immutable).
+type Group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// Do runs fn for key, coalescing with an in-flight call if one exists.
+// coalesced reports whether this caller shared another caller's fetch
+// (true for waiters, false for the leader).
+func (g *Group) Do(key string, fn func() (Value, error)) (v Value, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		ch := make(chan flightResult, 1)
+		f.waiters = append(f.waiters, ch)
+		g.mu.Unlock()
+		r := <-ch
+		return r.v, true, r.err
+	}
+	f := &flight{}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	v, err = fn()
+
+	// Unregister before distributing: a Get arriving after this point
+	// starts a fresh fetch instead of waiting on an already-finished
+	// one (and observing ever-staler data).
+	g.mu.Lock()
+	delete(g.flights, key)
+	waiters := f.waiters
+	g.mu.Unlock()
+	for _, ch := range waiters {
+		r := flightResult{err: err}
+		if err == nil {
+			r.v = Value{
+				Data:    append([]byte(nil), v.Data...),
+				Version: v.Version,
+				TTL:     v.TTL,
+			}
+		}
+		ch <- r
+	}
+	return v, false, err
+}

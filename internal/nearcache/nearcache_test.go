@@ -1,0 +1,413 @@
+package nearcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecstore/internal/metrics"
+)
+
+// fakeClock is an adjustable clock for deadline tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newCache(t *testing.T, maxBytes int64, clk *fakeClock) (*Cache, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	cfg := Config{MaxBytes: maxBytes, Metrics: reg}
+	if clk != nil {
+		cfg.Now = clk.now
+	}
+	c := New(cfg)
+	if c == nil {
+		t.Fatal("New returned nil for positive MaxBytes")
+	}
+	return c, reg
+}
+
+func TestNewDisabled(t *testing.T) {
+	if New(Config{MaxBytes: 0}) != nil {
+		t.Fatal("MaxBytes=0 should disable the cache")
+	}
+	if New(Config{MaxBytes: -1}) != nil {
+		t.Fatal("negative MaxBytes should disable the cache")
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache must always miss")
+	}
+	c.Put("k", Value{Data: []byte("v")}, c.Begin("k"))
+	c.Invalidate("k")
+	c.InvalidateAll()
+	c.Observe("k", 1)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("nil cache must be empty")
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	c, reg := newCache(t, 1<<20, nil)
+	c.Put("k", Value{Data: []byte("hello"), Version: 7, TTL: 0}, c.Begin("k"))
+	v, ok := c.Get("k")
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if string(v.Data) != "hello" || v.Version != 7 || v.TTL != 0 {
+		t.Fatalf("got %+v", v)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("ecstore_client_nearcache_hits_total") != 1 {
+		t.Fatalf("hits = %d, want 1", snap.Counter("ecstore_client_nearcache_hits_total"))
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("expected miss")
+	}
+	if got := reg.Snapshot().Counter("ecstore_client_nearcache_misses_total"); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+// Every Get must hand out an independent copy: mutating one caller's
+// result must not leak into the cache or other callers.
+func TestGetReturnsCopies(t *testing.T) {
+	c, _ := newCache(t, 1<<20, nil)
+	c.Put("k", Value{Data: []byte("aaaa"), Version: 1}, c.Begin("k"))
+	v1, _ := c.Get("k")
+	v1.Data[0] = 'Z'
+	v2, ok := c.Get("k")
+	if !ok || string(v2.Data) != "aaaa" {
+		t.Fatalf("cache entry corrupted by caller mutation: %q", v2.Data)
+	}
+}
+
+// Put must copy the caller's bytes: the caller may hand in a buffer it
+// reuses (or returns to a frame pool) right after.
+func TestPutCopiesData(t *testing.T) {
+	c, _ := newCache(t, 1<<20, nil)
+	buf := []byte("original")
+	c.Put("k", Value{Data: buf, Version: 1}, c.Begin("k"))
+	copy(buf, "clobber!")
+	v, ok := c.Get("k")
+	if !ok || string(v.Data) != "original" {
+		t.Fatalf("cache aliased caller buffer: %q", v.Data)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, _ := newCache(t, 1<<20, clk)
+	c.Put("k", Value{Data: []byte("v"), Version: 1, TTL: 10}, c.Begin("k"))
+	v, ok := c.Get("k")
+	if !ok || v.TTL != 10 {
+		t.Fatalf("fresh entry: ok=%v ttl=%d", ok, v.TTL)
+	}
+	clk.advance(4 * time.Second)
+	if v, ok = c.Get("k"); !ok || v.TTL != 6 {
+		t.Fatalf("after 4s: ok=%v ttl=%d, want 6", ok, v.TTL)
+	}
+	clk.advance(7 * time.Second)
+	if _, ok = c.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired entry not dropped")
+	}
+}
+
+func TestMaxAgeCapsResidency(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	reg := metrics.NewRegistry()
+	c := New(Config{MaxBytes: 1 << 20, MaxAge: 2 * time.Second, Metrics: reg, Now: clk.now})
+	// No item TTL, but MaxAge still bounds it.
+	c.Put("k", Value{Data: []byte("v"), Version: 1}, c.Begin("k"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	clk.advance(3 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry served past MaxAge")
+	}
+	// An item TTL shorter than MaxAge wins.
+	c.Put("s", Value{Data: []byte("v"), Version: 1, TTL: 1}, c.Begin("s"))
+	clk.advance(1500 * time.Millisecond)
+	if _, ok := c.Get("s"); ok {
+		t.Fatal("entry served past item TTL")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget fits two entries of charge 1+1+64 = 66.
+	c, reg := newCache(t, 150, nil)
+	c.Put("a", Value{Data: []byte("1")}, c.Begin("a"))
+	c.Put("b", Value{Data: []byte("2")}, c.Begin("b"))
+	c.Get("a") // a is now more recently used than b
+	c.Put("c", Value{Data: []byte("3")}, c.Begin("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("new entry c missing")
+	}
+	if got := reg.Snapshot().Counter("ecstore_client_nearcache_evictions_total"); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if c.Bytes() > 150 {
+		t.Fatalf("over budget: %d", c.Bytes())
+	}
+}
+
+func TestPutRejectsOversized(t *testing.T) {
+	c, _ := newCache(t, 100, nil)
+	c.Put("k", Value{Data: make([]byte, 200)}, c.Begin("k"))
+	if c.Len() != 0 {
+		t.Fatal("oversized value cached")
+	}
+}
+
+func TestPutReplaceAdjustsCharge(t *testing.T) {
+	c, _ := newCache(t, 1<<10, nil)
+	c.Put("k", Value{Data: make([]byte, 100)}, c.Begin("k"))
+	before := c.Bytes()
+	c.Put("k", Value{Data: make([]byte, 10), Version: 2}, c.Begin("k"))
+	after := c.Bytes()
+	if after >= before {
+		t.Fatalf("replace did not shrink charge: %d -> %d", before, after)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get("k")
+	if v.Version != 2 || len(v.Data) != 10 {
+		t.Fatalf("replace lost: %+v", v)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, reg := newCache(t, 1<<20, nil)
+	c.Put("k", Value{Data: []byte("v"), Version: 1}, c.Begin("k"))
+	c.Invalidate("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("invalidated entry served")
+	}
+	if got := reg.Snapshot().Counter("ecstore_client_nearcache_invalidations_total"); got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c, _ := newCache(t, 1<<20, nil)
+	gen := c.Begin("a")
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Put(k, Value{Data: []byte("v")}, c.Begin(k))
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("cache not emptied: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	// A fill begun before the flush must be dropped.
+	c.Put("a", Value{Data: []byte("stale")}, gen)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("pre-flush fill installed after InvalidateAll")
+	}
+}
+
+// The fill-race guard: an invalidation between Begin and Put must win,
+// dropping the (possibly stale) fill.
+func TestFillLosesRaceToInvalidation(t *testing.T) {
+	c, reg := newCache(t, 1<<20, nil)
+	gen := c.Begin("k")
+	// ... fill reads version 1 from the backend; meanwhile a local
+	// write invalidates:
+	c.Invalidate("k")
+	c.Put("k", Value{Data: []byte("stale"), Version: 1}, gen)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stale fill resurrected an invalidated key")
+	}
+	if got := reg.Snapshot().Counter("ecstore_client_nearcache_fills_dropped_total"); got != 1 {
+		t.Fatalf("fills_dropped = %d, want 1", got)
+	}
+	// A fresh fill (Begin after the invalidation) installs fine.
+	c.Put("k", Value{Data: []byte("fresh"), Version: 2}, c.Begin("k"))
+	if v, ok := c.Get("k"); !ok || string(v.Data) != "fresh" {
+		t.Fatal("fresh fill after invalidation did not install")
+	}
+}
+
+func TestObserve(t *testing.T) {
+	c, _ := newCache(t, 1<<20, nil)
+	gen := c.Begin("k")
+	c.Put("k", Value{Data: []byte("v1"), Version: 1}, gen)
+	c.Observe("k", 1) // matching version: keep
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("matching Observe dropped the entry")
+	}
+	before := c.Begin("k")
+	c.Observe("k", 2) // version moved on: drop
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stale entry survived Observe of newer version")
+	}
+	if c.Begin("k") == before {
+		t.Fatal("Observe mismatch must bump the generation")
+	}
+	c.Observe("absent", 3) // no entry: no-op
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	coalesced := atomic.Int64{}
+	values := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do("k", func() (Value, error) {
+				calls.Add(1)
+				close(started)
+				<-release
+				return Value{Data: []byte("payload"), Version: 9, TTL: 3}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if shared {
+				coalesced.Add(1)
+			}
+			if string(v.Data) != "payload" || v.Version != 9 || v.TTL != 3 {
+				t.Errorf("waiter %d got %+v", i, v)
+			}
+			values[i] = v.Data
+		}(i)
+	}
+	<-started
+	// Give the other goroutines a moment to register as waiters; those
+	// that lose the race simply start their own flight, which is
+	// correct but not what this test measures.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if calls.Load() >= n {
+		t.Fatalf("no coalescing: %d backend calls for %d concurrent gets", calls.Load(), n)
+	}
+	if coalesced.Load() == 0 {
+		t.Fatal("no waiter reported coalesced")
+	}
+	// Lease discipline: every waiter owns its bytes — no two slices
+	// may alias.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if len(values[i]) > 0 && len(values[j]) > 0 && &values[i][0] == &values[j][0] {
+				t.Fatalf("waiters %d and %d share a buffer", i, j)
+			}
+		}
+	}
+}
+
+func TestSingleflightErrorShared(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := g.Do("k", func() (Value, error) {
+				close(started)
+				<-release
+				return Value{}, boom
+			})
+			errs[i] = err
+		}(i)
+	}
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: err = %v, want boom", i, err)
+		}
+	}
+}
+
+func TestSingleflightDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, _, err := g.Do(key, func() (Value, error) {
+				calls.Add(1)
+				return Value{Data: []byte(key)}, nil
+			})
+			if err != nil || string(v.Data) != key {
+				t.Errorf("key %s: %v %q", key, err, v.Data)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 4 {
+		t.Fatalf("calls = %d, want 4", calls.Load())
+	}
+}
+
+// Sequential calls each run their own fetch (no flight lingers after
+// completion).
+func TestSingleflightSequential(t *testing.T) {
+	var g Group
+	var calls int
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do("k", func() (Value, error) {
+			calls++
+			return Value{Data: []byte{byte(calls)}}, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+		if !bytes.Equal(v.Data, []byte{byte(i + 1)}) {
+			t.Fatalf("call %d returned stale flight result %v", i, v.Data)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}

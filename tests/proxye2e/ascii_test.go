@@ -318,6 +318,86 @@ func TestE2ELargeValue(t *testing.T) {
 	c.line()
 }
 
+// TestE2EIncrDecrConformance pins the memcached arithmetic edge
+// semantics on the wire: incr wraps around the uint64 boundary, decr
+// clamps at zero, and the two distinct CLIENT_ERROR texts distinguish
+// a malformed delta argument from a non-numeric stored value.
+func TestE2EIncrDecrConformance(t *testing.T) {
+	c := dialProxy(t)
+
+	// incr wraps at 2^64, exactly as memcached does.
+	c.set("e2e-wrap", "18446744073709551615")
+	c.send("incr e2e-wrap 1\r\n")
+	if got := c.line(); got != "0" {
+		t.Fatalf("incr at uint64 max -> %q, want 0 (wraparound)", got)
+	}
+	c.send("incr e2e-wrap 5\r\n")
+	if got := c.line(); got != "5" {
+		t.Fatalf("incr after wrap -> %q, want 5", got)
+	}
+
+	// decr clamps at zero, never wraps.
+	c.set("e2e-clamp", "3")
+	c.send("decr e2e-clamp 10\r\n")
+	if got := c.line(); got != "0" {
+		t.Fatalf("decr below zero -> %q, want 0 (clamp)", got)
+	}
+	c.send("decr e2e-clamp 1\r\n")
+	if got := c.line(); got != "0" {
+		t.Fatalf("decr at zero -> %q, want 0", got)
+	}
+
+	// A non-numeric delta is a malformed argument...
+	c.send("incr e2e-clamp abc\r\n")
+	if got := c.line(); got != "CLIENT_ERROR invalid numeric delta argument" {
+		t.Fatalf("incr with bad delta -> %q", got)
+	}
+	c.send("decr e2e-clamp -1\r\n")
+	if got := c.line(); got != "CLIENT_ERROR invalid numeric delta argument" {
+		t.Fatalf("decr with negative delta -> %q", got)
+	}
+
+	// ...while a non-numeric stored value is a different error.
+	c.set("e2e-text", "not-a-number")
+	c.send("incr e2e-text 1\r\n")
+	if got := c.line(); got != "CLIENT_ERROR cannot increment or decrement non-numeric value" {
+		t.Fatalf("incr on non-numeric value -> %q", got)
+	}
+	c.send("decr e2e-text 1\r\n")
+	if got := c.line(); got != "CLIENT_ERROR cannot increment or decrement non-numeric value" {
+		t.Fatalf("decr on non-numeric value -> %q", got)
+	}
+
+	// Missing keys answer NOT_FOUND, not an error.
+	c.send("incr e2e-incr-missing 1\r\n")
+	if got := c.line(); got != "NOT_FOUND" {
+		t.Fatalf("incr on missing key -> %q", got)
+	}
+
+	// The meta protocol shares the same arithmetic core: wrap and clamp
+	// behave identically through ma.
+	c.set("e2e-ma-wrap", "18446744073709551615")
+	c.send("ma e2e-ma-wrap v\r\n")
+	if got := c.line(); got != "VA 1" {
+		t.Fatalf("ma incr at uint64 max -> %q", got)
+	}
+	if got := c.read(1 + 2); got != "0\r\n" {
+		t.Fatalf("ma wrapped value %q, want 0", got)
+	}
+	c.set("e2e-ma-clamp", "3")
+	c.send("ma e2e-ma-clamp MD D10 v\r\n")
+	if got := c.line(); got != "VA 1" {
+		t.Fatalf("ma decr below zero -> %q", got)
+	}
+	if got := c.read(1 + 2); got != "0\r\n" {
+		t.Fatalf("ma clamped value %q, want 0", got)
+	}
+	c.send("ma e2e-text\r\n")
+	if got := c.line(); got != "CLIENT_ERROR cannot increment or decrement non-numeric value" {
+		t.Fatalf("ma on non-numeric value -> %q", got)
+	}
+}
+
 func TestE2EStatsVersionQuit(t *testing.T) {
 	c := dialProxy(t)
 	c.send("version\r\n")

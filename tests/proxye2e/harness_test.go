@@ -100,11 +100,20 @@ func runSuite(m *testing.M) (int, error) {
 	if mode == "" {
 		mode = "era-ce-cd"
 	}
-	proxy := exec.Command(memproxy,
+	proxyArgs := []string{
 		"-listen", proxyAddr,
 		"-servers", peers,
 		"-mode", mode,
-		"-k", "3", "-m", "2")
+		"-k", "3", "-m", "2",
+	}
+	// PROXYE2E_CACHE_BYTES runs the same conformance suite with the
+	// proxy's near cache enabled: every scenario (cas round-trips,
+	// incr/decr, touch, flush_all) must behave identically whether
+	// reads come from the cluster or from the cache.
+	if cache := os.Getenv("PROXYE2E_CACHE_BYTES"); cache != "" {
+		proxyArgs = append(proxyArgs, "-cache-bytes", cache)
+	}
+	proxy := exec.Command(memproxy, proxyArgs...)
 	proxy.Stdout = os.Stderr
 	proxy.Stderr = os.Stderr
 	if err := proxy.Start(); err != nil {
