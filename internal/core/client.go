@@ -363,8 +363,10 @@ func (c *Client) FlushAll() error {
 		}
 	}
 	// Again after the flush has landed: a read that raced the loop may
-	// have re-filled a pre-flush value.
+	// have re-filled a pre-flush value. Flight generations bump too, so
+	// no post-flush Get coalesces onto a pre-flush fetch.
 	c.cache.InvalidateAll()
+	c.flight.InvalidateAll()
 	return firstErr
 }
 

@@ -170,16 +170,19 @@ type Config struct {
 	RetryBackoff time.Duration
 	// CacheBytes enables the client-side near cache: a size-bounded
 	// LRU over logical values, stamped with the stripe version each
-	// value was read at, invalidated on local Set/Cas/Delete, on
-	// observed version mismatch, and on TTL expiry (DESIGN §11). Hot
-	// zipfian reads are served from local memory instead of dialing
-	// the key's home server. 0 disables caching (reads still coalesce
-	// through the singleflight group).
+	// value was read at, invalidated on local Set/Cas/Delete (every
+	// Cas outcome — a conditional write that loses with EXISTS drops
+	// the entry), on authoritative absence, and on TTL or CacheMaxAge
+	// expiry (DESIGN §11). Hot zipfian reads are served from local
+	// memory instead of dialing the key's home server. 0 disables
+	// caching (reads still coalesce through the singleflight group).
 	CacheBytes int64
 	// CacheMaxAge caps how long any cached entry may be served
 	// regardless of its item TTL — the bound on cross-client staleness
 	// (DefaultCacheMaxAge if zero; negative removes the cap so only
-	// item TTLs and invalidations expire entries).
+	// item TTLs and invalidations expire entries). It bounds residency
+	// only: the TTL a cached read reports is always the item's own
+	// remaining lifetime, never this cap.
 	CacheMaxAge time.Duration
 	// Metrics is the registry the client publishes its always-on
 	// observability into: per-op counts and latencies, per-phase

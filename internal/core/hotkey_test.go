@@ -151,6 +151,47 @@ func TestNearCacheInvalidatedOnCASConflict(t *testing.T) {
 	}
 }
 
+// A cached read must report the item's own TTL, not the CacheMaxAge
+// residency cap: the proxy's read-modify-write commands persist the
+// TTL they read back through Cas, so a capped report would truncate a
+// 1h item to ~5s — and give a no-expiry item an expiry — on every
+// append/incr against a cache hit.
+func TestNearCacheReportsItemTTLNotResidencyCap(t *testing.T) {
+	cl := startCluster(t, 5)
+	cfg := allModes()["era-ce-cd"]
+	cfg.CacheBytes = 1 << 20 // default CacheMaxAge (5s) applies
+	c := newClient(t, cl, cfg)
+
+	if err := c.Set("forever", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetTTL("hour", []byte("v"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 fills the cache; round 1 is served from it and must
+	// report the same item lifetimes.
+	for round := 0; round < 2; round++ {
+		item, err := c.Gets("forever")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.TTL != 0 {
+			t.Fatalf("round %d: no-expiry item reports TTL %d, want 0", round, item.TTL)
+		}
+		item, err = c.Gets("hour")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.TTL < 3500 {
+			t.Fatalf("round %d: 1h item reports TTL %ds — residency cap leaked into the item TTL",
+				round, item.TTL)
+		}
+	}
+	if hits := c.Metrics().Snapshot().Counter("ecstore_client_nearcache_hits_total"); hits < 2 {
+		t.Fatalf("second round not served from cache (hits=%d)", hits)
+	}
+}
+
 // Local writes invalidate the cache even while a read storm keeps
 // refilling it: readers may see old or new, but never a torn value,
 // and after the last write settles every read must return the final

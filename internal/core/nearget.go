@@ -56,7 +56,10 @@ func (c *Client) readThrough(key string) (Item, error) {
 // (Set/Cas/Delete). Called regardless of the mutation's outcome: on
 // success the cached value is stale by construction, on failure the
 // key's state is unknown — either way serving the old entry would
-// break read-your-writes.
+// break read-your-writes. The flight generation is bumped too, so a
+// subsequent Get never coalesces onto a fetch that began before this
+// write — that fetch could return the pre-write value.
 func (c *Client) invalidate(key string) {
 	c.cache.Invalidate(key)
+	c.flight.Invalidate(key)
 }

@@ -9,14 +9,21 @@
 // Consistency contract: every cached value carries the stripe version
 // it was read at — the same token the CAS machinery checks — so a
 // stale entry is self-correcting: a conditional write based on it
-// fails with EXISTS, which invalidates the entry. Entries are
-// invalidated eagerly on local Set/Cas/Delete, on observed version
-// mismatch, and on TTL expiry; a fill races a concurrent invalidation
-// through per-slot generation counters (Begin/Put), so an invalidation
-// between fetch and fill wins and the stale fill is dropped. What a
-// client reads is therefore monotonic with respect to its own writes;
-// cross-client staleness is bounded by MaxAge/TTL and corrected by the
-// version stamp on the first conditional write.
+// fails with EXISTS, and the client invalidates the entry on every
+// Cas outcome (cluster EXISTS responses carry no current version, so
+// invalidation is unconditional rather than version-compared; Observe
+// is the hook for transports that do surface authoritative versions).
+// Entries are invalidated eagerly on local Set/Cas/Delete and on TTL
+// or MaxAge expiry; a fill races a concurrent invalidation through
+// per-slot generation counters (Begin/Put), so an invalidation between
+// fetch and fill wins and the stale fill is dropped. The singleflight
+// group is guarded by the same generation discipline: a local write
+// bumps the key's flight generation (Group.Invalidate), and a later
+// read refuses to coalesce onto a flight begun before the bump — so
+// what a client reads is monotonic with respect to its own writes,
+// with or without the cache. Cross-client staleness is bounded by
+// MaxAge/TTL and corrected by the version stamp on the first
+// conditional write.
 //
 // Lease discipline: values handed out and taken in are always copies.
 // Put copies the caller's bytes (which may alias a pooled frame about
@@ -46,8 +53,12 @@ const genSlots = 1024
 const entryOverhead = 64
 
 // Value is a cached logical value: the payload bytes, the stripe
-// version they were read at (the CAS token), and the remaining TTL in
-// whole seconds at the time of the read (0 = no expiry).
+// version they were read at (the CAS token), and the item's own
+// remaining TTL in whole seconds at the time of the read (0 = no
+// expiry). The MaxAge residency cap never leaks into TTL — callers
+// persist this field back to the cluster (the proxy's
+// read-modify-write commands keep an item's TTL across append/incr),
+// so reporting the cap here would silently truncate real lifetimes.
 type Value struct {
 	Data    []byte
 	Version uint64
@@ -55,11 +66,12 @@ type Value struct {
 }
 
 type entry struct {
-	key      string
-	data     []byte
-	version  uint64
-	deadline time.Time // zero = no expiry
-	charge   int64
+	key     string
+	data    []byte
+	version uint64
+	expires time.Time // the item's own TTL deadline; zero = no expiry
+	staleAt time.Time // the MaxAge residency deadline; zero = no cap
+	charge  int64
 }
 
 // Config configures a Cache.
@@ -70,7 +82,8 @@ type Config struct {
 	MaxBytes int64
 	// MaxAge caps how long any entry may be served regardless of its
 	// item TTL — a safety valve on cross-client staleness
-	// (0 = no cap).
+	// (0 = no cap). It bounds residency only: the TTL a Get reports
+	// always reflects the item's own lifetime, never this cap.
 	MaxAge time.Duration
 	// Metrics receives the cache's hit/miss/eviction/invalidation
 	// counters and size gauges (nil discards them).
@@ -153,10 +166,11 @@ func (c *Cache) Begin(key string) uint64 {
 	return g
 }
 
-// Get returns a copy of the cached value for key. A miss, an expired
-// entry, or an entry past MaxAge returns ok = false (expired entries
-// are dropped). The returned Value's TTL is the remaining lifetime in
-// whole seconds, rounded up.
+// Get returns a copy of the cached value for key. A miss, an entry
+// past its item TTL, or an entry past MaxAge returns ok = false
+// (expired entries are dropped). The returned Value's TTL is the
+// item's own remaining lifetime in whole seconds, rounded up — the
+// residency cap only decides serve/expire and is never reported.
 func (c *Cache) Get(key string) (Value, bool) {
 	if c == nil {
 		return Value{}, false
@@ -169,16 +183,17 @@ func (c *Cache) Get(key string) (Value, bool) {
 		return Value{}, false
 	}
 	e := el.Value.(*entry)
+	now := c.now()
+	if (!e.expires.IsZero() && !e.expires.After(now)) ||
+		(!e.staleAt.IsZero() && !e.staleAt.After(now)) {
+		c.removeLocked(el)
+		c.misses.Inc()
+		c.mu.Unlock()
+		return Value{}, false
+	}
 	var remaining uint32
-	if !e.deadline.IsZero() {
-		left := e.deadline.Sub(c.now())
-		if left <= 0 {
-			c.removeLocked(el)
-			c.misses.Inc()
-			c.mu.Unlock()
-			return Value{}, false
-		}
-		remaining = uint32((left + time.Second - 1) / time.Second)
+	if !e.expires.IsZero() {
+		remaining = uint32((e.expires.Sub(now) + time.Second - 1) / time.Second)
 	}
 	c.ll.MoveToFront(el)
 	v := Value{
@@ -210,22 +225,21 @@ func (c *Cache) Put(key string, v Value, gen uint64) {
 		c.fillsDropped.Inc()
 		return
 	}
-	var deadline time.Time
+	var expires time.Time
 	if v.TTL > 0 {
-		deadline = c.now().Add(time.Duration(v.TTL) * time.Second)
+		expires = c.now().Add(time.Duration(v.TTL) * time.Second)
 	}
+	var staleAt time.Time
 	if c.maxAge > 0 {
-		ageCap := c.now().Add(c.maxAge)
-		if deadline.IsZero() || ageCap.Before(deadline) {
-			deadline = ageCap
-		}
+		staleAt = c.now().Add(c.maxAge)
 	}
 	e := &entry{
-		key:      key,
-		data:     append([]byte(nil), v.Data...),
-		version:  v.Version,
-		deadline: deadline,
-		charge:   charge,
+		key:     key,
+		data:    append([]byte(nil), v.Data...),
+		version: v.Version,
+		expires: expires,
+		staleAt: staleAt,
+		charge:  charge,
 	}
 	if el, ok := c.entries[key]; ok {
 		c.used -= el.Value.(*entry).charge
@@ -282,10 +296,18 @@ func (c *Cache) InvalidateAll() {
 	c.mu.Unlock()
 }
 
-// Observe reports an authoritative (key, version) sighting from any
-// response — a read, an EXISTS conflict carrying the current version,
-// a scan. If the cached entry disagrees it is invalidated: the entry
-// is provably stale.
+// Observe reports an authoritative (key, version) sighting from a
+// response that carries the current version next to a possibly-cached
+// entry. If the cached entry disagrees it is invalidated: the entry is
+// provably stale.
+//
+// This is an integration hook, not a path the core client uses: the
+// cluster's EXISTS responses carry no current version, so the client's
+// Cas path invalidates unconditionally on every outcome instead, and
+// a cluster read only happens after a cache miss (no live entry left
+// to compare). Transports whose responses do surface authoritative
+// versions (scans, richer EXISTS payloads) should call this on each
+// sighting.
 func (c *Cache) Observe(key string, version uint64) {
 	if c == nil {
 		return
@@ -336,6 +358,7 @@ type flightResult struct {
 }
 
 type flight struct {
+	gen     uint64 // key's generation when the flight was created
 	waiters []chan flightResult
 }
 
@@ -349,12 +372,23 @@ type flight struct {
 // callers ever share a buffer, and fn's result may alias memory the
 // leader's caller will mutate. Errors are shared as-is (errors are
 // immutable).
+//
+// Write ordering: flights are generation-guarded. Invalidate (called
+// after every local write of the key) bumps the key's generation, and
+// Do refuses to coalesce onto a flight created under an older
+// generation — without the guard, a read issued after the caller's own
+// completed write could park on a fetch that began before the write
+// and return the pre-write value. A superseded flight still delivers
+// to the waiters that joined it before the bump; their reads preceded
+// the write, so the older result is consistent for them.
 type Group struct {
 	mu      sync.Mutex
+	gens    [genSlots]uint64
 	flights map[string]*flight
 }
 
-// Do runs fn for key, coalescing with an in-flight call if one exists.
+// Do runs fn for key, coalescing with an in-flight call if one exists
+// and no invalidation of key happened since that call began.
 // coalesced reports whether this caller shared another caller's fetch
 // (true for waiters, false for the leader).
 func (g *Group) Do(key string, fn func() (Value, error)) (v Value, coalesced bool, err error) {
@@ -362,14 +396,20 @@ func (g *Group) Do(key string, fn func() (Value, error)) (v Value, coalesced boo
 	if g.flights == nil {
 		g.flights = make(map[string]*flight)
 	}
-	if f, ok := g.flights[key]; ok {
+	cur := g.gens[genSlot(key)]
+	if f, ok := g.flights[key]; ok && f.gen == cur {
 		ch := make(chan flightResult, 1)
 		f.waiters = append(f.waiters, ch)
 		g.mu.Unlock()
 		r := <-ch
 		return r.v, true, r.err
 	}
-	f := &flight{}
+	// Either no flight exists, or the one in flight predates an
+	// invalidation of key (its generation is stale): joining it could
+	// return a value fetched before this caller's own completed write.
+	// Become the leader of a fresh flight instead, superseding the
+	// stale one in the map.
+	f := &flight{gen: cur}
 	g.flights[key] = f
 	g.mu.Unlock()
 
@@ -377,9 +417,13 @@ func (g *Group) Do(key string, fn func() (Value, error)) (v Value, coalesced boo
 
 	// Unregister before distributing: a Get arriving after this point
 	// starts a fresh fetch instead of waiting on an already-finished
-	// one (and observing ever-staler data).
+	// one (and observing ever-staler data). Delete only if the map
+	// still points at this flight — a superseded flight must not tear
+	// down its replacement.
 	g.mu.Lock()
-	delete(g.flights, key)
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
 	waiters := f.waiters
 	g.mu.Unlock()
 	for _, ch := range waiters {
@@ -394,4 +438,25 @@ func (g *Group) Do(key string, fn func() (Value, error)) (v Value, coalesced boo
 		ch <- r
 	}
 	return v, false, err
+}
+
+// Invalidate marks any in-flight fetch of key as predating a write:
+// callers arriving after this bump start a fresh fetch instead of
+// coalescing onto it. Called after every local Set/Cas/Delete of key —
+// this is what keeps coalesced reads monotonic with respect to the
+// caller's own writes.
+func (g *Group) Invalidate(key string) {
+	g.mu.Lock()
+	g.gens[genSlot(key)]++
+	g.mu.Unlock()
+}
+
+// InvalidateAll bumps every generation slot (flush_all): no caller
+// coalesces onto any flight begun before the flush.
+func (g *Group) InvalidateAll() {
+	g.mu.Lock()
+	for i := range g.gens {
+		g.gens[i]++
+	}
+	g.mu.Unlock()
 }

@@ -157,6 +157,39 @@ func TestMaxAgeCapsResidency(t *testing.T) {
 	}
 }
 
+// The MaxAge residency cap bounds how long an entry is served but must
+// never leak into the TTL Get reports: proxy read-modify-write paths
+// persist that TTL back to the cluster through cas, so a capped report
+// would silently truncate the item's real lifetime (and give a
+// no-expiry item a ~MaxAge one).
+func TestMaxAgeDoesNotLeakIntoReportedTTL(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	reg := metrics.NewRegistry()
+	c := New(Config{MaxBytes: 1 << 20, MaxAge: 2 * time.Second, Metrics: reg, Now: clk.now})
+
+	// No item TTL: reported TTL must stay 0 (no expiry)...
+	c.Put("forever", Value{Data: []byte("v"), Version: 1}, c.Begin("forever"))
+	if v, ok := c.Get("forever"); !ok || v.TTL != 0 {
+		t.Fatalf("no-expiry entry: ok=%v ttl=%d, want ttl 0", ok, v.TTL)
+	}
+	// ...even though MaxAge still stops serving it.
+	clk.advance(3 * time.Second)
+	if _, ok := c.Get("forever"); ok {
+		t.Fatal("no-expiry entry served past MaxAge")
+	}
+
+	// An item TTL far above MaxAge is reported in full, not clamped.
+	c.Put("hour", Value{Data: []byte("v"), Version: 1, TTL: 3600}, c.Begin("hour"))
+	clk.advance(time.Second)
+	if v, ok := c.Get("hour"); !ok || v.TTL != 3599 {
+		t.Fatalf("1h entry after 1s: ok=%v ttl=%d, want 3599", ok, v.TTL)
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := c.Get("hour"); ok {
+		t.Fatal("1h entry served past MaxAge")
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	// Budget fits two entries of charge 1+1+64 = 66.
 	c, reg := newCache(t, 150, nil)
@@ -388,6 +421,105 @@ func TestSingleflightDistinctKeysDoNotCoalesce(t *testing.T) {
 	if calls.Load() != 4 {
 		t.Fatalf("calls = %d, want 4", calls.Load())
 	}
+}
+
+// A Get must never coalesce onto a flight that began before the
+// caller's own completed write: Invalidate bumps the key's flight
+// generation, so later callers start a fresh fetch and see the
+// post-write value while the pre-write leader is still in flight
+// (read-your-writes through the singleflight layer).
+func TestSingleflightInvalidateBreaksCoalescing(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderV Value
+	go func() {
+		defer wg.Done()
+		leaderV, _, _ = g.Do("k", func() (Value, error) {
+			close(started)
+			<-release
+			return Value{Data: []byte("old"), Version: 1}, nil
+		})
+	}()
+	<-started
+
+	// A reader that parked before the write keeps the pre-write result
+	// (its read preceded the write, so "old" is consistent for it).
+	wg.Add(1)
+	var preV Value
+	var preShared bool
+	go func() {
+		defer wg.Done()
+		preV, preShared, _ = g.Do("k", func() (Value, error) {
+			return Value{Data: []byte("fresh-pre")}, nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let it park as a waiter
+
+	// The caller's write completes: bump the generation.
+	g.Invalidate("k")
+
+	// A read arriving after the write must not park on the stale
+	// flight — it runs its own fetch even though the old leader is
+	// still blocked.
+	post, shared, err := g.Do("k", func() (Value, error) {
+		return Value{Data: []byte("new"), Version: 2}, nil
+	})
+	if err != nil || shared {
+		t.Fatalf("post-write Do: err=%v shared=%v, want a fresh fetch", err, shared)
+	}
+	if string(post.Data) != "new" {
+		t.Fatalf("post-write Do returned %q, want \"new\"", post.Data)
+	}
+
+	close(release)
+	wg.Wait()
+	if string(leaderV.Data) != "old" {
+		t.Fatalf("stale leader got %q, want \"old\"", leaderV.Data)
+	}
+	if preShared && string(preV.Data) != "old" {
+		t.Fatalf("pre-write waiter got %q, want the leader's \"old\"", preV.Data)
+	}
+
+	// The superseded flight's completion must not have torn down live
+	// state: a fresh sequential Do still works uncoalesced.
+	v, shared, err := g.Do("k", func() (Value, error) {
+		return Value{Data: []byte("after")}, nil
+	})
+	if err != nil || shared || string(v.Data) != "after" {
+		t.Fatalf("Do after settle: %q shared=%v err=%v", v.Data, shared, err)
+	}
+}
+
+// InvalidateAll (flush_all) must stop every key from coalescing onto
+// pre-flush flights.
+func TestSingleflightInvalidateAll(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do("k", func() (Value, error) {
+			close(started)
+			<-release
+			return Value{Data: []byte("old")}, nil
+		})
+	}()
+	<-started
+	g.InvalidateAll()
+	v, shared, err := g.Do("k", func() (Value, error) {
+		return Value{Data: []byte("new")}, nil
+	})
+	if err != nil || shared || string(v.Data) != "new" {
+		t.Fatalf("post-flush Do: %q shared=%v err=%v, want fresh \"new\"", v.Data, shared, err)
+	}
+	close(release)
+	wg.Wait()
 }
 
 // Sequential calls each run their own fetch (no flight lingers after
