@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecstore/internal/bufpool"
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// subOp is one planned sub-operation of a bulk call: where it goes,
+// what it asks, and — after the batch round — what came back. The
+// bulk strategies build sub-ops, hand them to a batcher, and read the
+// results out of the same structs.
+type subOp struct {
+	addr string
+	req  wire.BatchReq
+
+	// reqPool, when non-nil, marks req.Value as leased from that pool.
+	// The executor releases it only after the whole round completes —
+	// a whole-frame failure may re-encode the sub into a smaller batch,
+	// so the lease must survive until no re-send can happen. (Sub-ops
+	// that fall back to a plain single-op frame transfer the lease to
+	// the rpc layer instead.)
+	reqPool *bufpool.Pool
+
+	// resp is the sub-response (value copied out of the pooled frame)
+	// when err is nil; err is the transport-level failure (server down,
+	// timeout, malformed frame) that prevented any authoritative
+	// answer. Status-level outcomes (NotFound, Exists, per-sub errors)
+	// live in resp.Status.
+	resp wire.BatchResp
+	err  error
+}
+
+// fail returns the sub-op's failure: the transport error when the
+// frame never completed, else the wire status mapped through the same
+// table single-op callers use (nil for StatusOK).
+func (op *subOp) fail() error {
+	if op.err != nil {
+		return op.err
+	}
+	return op.resp.Err()
+}
+
+// unavailable reports whether the sub-op failed for a reason that
+// walking to another replica can fix (down or timed-out server), the
+// same classification rpc.IsUnavailable gives single-op failovers.
+func (op *subOp) unavailable() bool {
+	return op.err != nil && rpc.IsUnavailable(op.err)
+}
+
+// batcher accumulates the frame count of one logical bulk operation
+// across however many rounds its strategy needs (failover walks, parity
+// rounds, unwinds). The public bulk APIs record frames-per-op from it.
+type batcher struct {
+	c      *Client
+	frames int64
+}
+
+// send executes ops — one frame per target server per round, subject
+// to the frame-size budget — and fills each sub-op's result in place.
+func (b *batcher) send(ops []*subOp) {
+	b.frames += b.c.sendBatches(ops)
+}
+
+// batchBytesBudget bounds one OpBatch frame's encoded payload; batches
+// that would exceed it are split (and a single sub-op too large to
+// wrap at all falls back to a plain single-op frame, which has no
+// batch overhead).
+const batchBytesBudget = wire.MaxValueLen
+
+// sendBatches groups ops by target server, sends one OpBatch frame per
+// server (splitting only over the size/count budget), waits for every
+// response, and fills results in place. It returns the number of
+// frames sent. Per-server work runs concurrently — the whole round
+// costs one round trip to the slowest server, not a sum.
+func (c *Client) sendBatches(ops []*subOp) int64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	byAddr := make(map[string][]*subOp)
+	addrs := make([]string, 0, 8)
+	for _, op := range ops {
+		if _, ok := byAddr[op.addr]; !ok {
+			addrs = append(addrs, op.addr)
+		}
+		byAddr[op.addr] = append(byAddr[op.addr], op)
+	}
+	var frames atomic.Int64
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		subs := byAddr[addr]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			frames.Add(c.sendToServer(addr, subs))
+		}()
+	}
+	wg.Wait()
+	// Every sub-op that still owns a value lease is past its last
+	// possible re-encode: hand the buffers back.
+	for _, op := range ops {
+		if op.reqPool != nil {
+			op.reqPool.Put(op.req.Value)
+			op.reqPool, op.req.Value = nil, nil
+		}
+	}
+	n := frames.Load()
+	c.mBulkFrames.Add(n)
+	c.mBulkSubops.Add(int64(len(ops)))
+	return n
+}
+
+// batchableOp mirrors the server's admission list: the store-local ops
+// a batch frame may carry. Coordinated ops (encode-set / decode-get)
+// stay per-key — their server-side peer fan-out must overlap across
+// keys, which one worker executing a batch serially cannot do.
+func batchableOp(op wire.Op) bool {
+	switch op {
+	case wire.OpSet, wire.OpSetChunk, wire.OpGet, wire.OpGetChunk,
+		wire.OpDelete, wire.OpCompareSet, wire.OpPing:
+		return true
+	default:
+		return false
+	}
+}
+
+// pendingFrame is one issued-but-unwaited frame: either a batch
+// carrying group, or a plain single-op frame carrying single.
+type pendingFrame struct {
+	call   *rpc.Call
+	group  []*subOp
+	single *subOp
+}
+
+// sendToServer plans subs into frames for one server, issues them all
+// before waiting on any (so multiple frames to one server pipeline),
+// then collects results. Returns frames successfully sent.
+func (c *Client) sendToServer(addr string, subs []*subOp) int64 {
+	var pendings []pendingFrame
+	var frames int64
+
+	issueGroup := func(group []*subOp) {
+		if len(group) == 0 {
+			return
+		}
+		call, ok := c.issueBatchFrame(addr, group)
+		if !ok {
+			return
+		}
+		frames++
+		pendings = append(pendings, pendingFrame{call: call, group: group})
+	}
+
+	var group []*subOp
+	size := wire.BatchOverhead
+	for _, op := range subs {
+		esz := op.req.EncodedSize()
+		if !batchableOp(op.req.Op) || wire.BatchOverhead+esz > batchBytesBudget {
+			// Not batchable (or too large to wrap): its own frame,
+			// issued now so it pipelines with the batch frames.
+			if call, ok := c.issuePlainFrame(addr, op); ok {
+				frames++
+				pendings = append(pendings, pendingFrame{call: call, single: op})
+			}
+			continue
+		}
+		if len(group) >= wire.MaxBatchOps || size+esz > batchBytesBudget {
+			issueGroup(group)
+			group, size = nil, wire.BatchOverhead
+		}
+		group = append(group, op)
+		size += esz
+	}
+	issueGroup(group)
+
+	for _, p := range pendings {
+		if p.single != nil {
+			c.waitPlainFrame(p.single, p.call)
+			continue
+		}
+		frames += c.waitBatchFrame(addr, p.group, p.call)
+	}
+	return frames
+}
+
+// issueBatchFrame encodes group into one OpBatch frame (payload leased
+// from the frame pool, ownership transferred with the request) and
+// sends it. On failure every sub-op is marked failed and ok is false.
+func (c *Client) issueBatchFrame(addr string, group []*subOp) (*rpc.Call, bool) {
+	reqs := make([]wire.BatchReq, len(group))
+	size := wire.BatchOverhead
+	for i, op := range group {
+		reqs[i] = op.req
+		size += op.req.EncodedSize()
+	}
+	fp := c.pool.FramePool()
+	var buf []byte
+	if fp != nil {
+		buf = fp.GetRaw(size)[:0]
+	}
+	payload, err := wire.AppendBatchRequests(buf, reqs)
+	if err != nil {
+		if fp != nil {
+			fp.Put(buf[:cap(buf)][:0])
+		}
+		for _, op := range group {
+			op.err = err
+		}
+		return nil, false
+	}
+	call, err := c.pool.Send(addr, &wire.Request{
+		Op:        wire.OpBatch,
+		Key:       "batch",
+		Value:     payload,
+		ValuePool: fp,
+	})
+	if err != nil {
+		for _, op := range group {
+			op.err = err
+		}
+		return nil, false
+	}
+	c.hBulkBatchSize.Record(time.Duration(len(group)))
+	return call, true
+}
+
+// waitBatchFrame waits out one batch frame and distributes the
+// sub-responses (values copied out of the pooled body). A whole-frame
+// status error — the batch itself was rejected, or its aggregate
+// response outgrew the frame — is retried by bisection: halves
+// re-send as smaller batches, and a single sub falls back to a plain
+// frame with no batch overhead. Re-sending is safe: batch rejection
+// means no sub-op executed, and a response-overflow re-send repeats
+// idempotent reads or re-applies the same versioned writes. Returns
+// the extra frames the retry path sent.
+func (c *Client) waitBatchFrame(addr string, group []*subOp, call *rpc.Call) int64 {
+	resp, err := call.Wait()
+	if err != nil {
+		resp.Release()
+		for _, op := range group {
+			op.err = err
+		}
+		return 0
+	}
+	if respErr := resp.Err(); respErr != nil {
+		resp.Release()
+		if len(group) == 1 {
+			var extra int64
+			if pcall, ok := c.issuePlainFrame(addr, group[0]); ok {
+				extra++
+				c.waitPlainFrame(group[0], pcall)
+			}
+			return extra
+		}
+		mid := len(group) / 2
+		return c.resendGroup(addr, group[:mid]) + c.resendGroup(addr, group[mid:])
+	}
+	rs, derr := wire.DecodeBatchResponses(resp.Value)
+	if derr == nil && len(rs) != len(group) {
+		derr = fmt.Errorf("%w: batch answered %d of %d sub-requests", wire.ErrMalformed, len(rs), len(group))
+	}
+	if derr != nil {
+		resp.Release()
+		for _, op := range group {
+			op.err = derr
+		}
+		return 0
+	}
+	for i, op := range group {
+		r := rs[i]
+		if len(r.Value) > 0 {
+			// The sub-value escapes to strategy code while the frame
+			// body goes back to the pool: copy out first.
+			r.Value = append([]byte(nil), r.Value...)
+		}
+		op.resp, op.err = r, nil
+	}
+	resp.Release()
+	return 0
+}
+
+// resendGroup synchronously re-sends a bisected half of a failed batch
+// frame, returning the frames it sent.
+func (c *Client) resendGroup(addr string, group []*subOp) int64 {
+	call, ok := c.issueBatchFrame(addr, group)
+	if !ok {
+		return 0
+	}
+	return 1 + c.waitBatchFrame(addr, group, call)
+}
+
+// issuePlainFrame sends one sub-op as an ordinary single-op frame. A
+// pool-leased value transfers to the rpc layer with the request (the
+// executor's end-of-round release then skips it).
+func (c *Client) issuePlainFrame(addr string, op *subOp) (*rpc.Call, bool) {
+	req := &wire.Request{
+		Op:         op.req.Op,
+		Key:        op.req.Key,
+		Value:      op.req.Value,
+		TTLSeconds: op.req.TTLSeconds,
+		Compare:    op.req.Compare,
+		Meta:       op.req.Meta,
+	}
+	if op.reqPool != nil {
+		req.ValuePool = op.reqPool
+		op.reqPool, op.req.Value = nil, nil
+	}
+	call, err := c.pool.Send(addr, req)
+	if err != nil {
+		op.err = err
+		return nil, false
+	}
+	return call, true
+}
+
+// waitPlainFrame completes a plain single-op frame into the sub-op.
+func (c *Client) waitPlainFrame(op *subOp, call *rpc.Call) {
+	resp, err := call.Wait()
+	if err != nil {
+		resp.Release()
+		op.err = err
+		return
+	}
+	r := wire.BatchResp{
+		Status:     resp.Status,
+		TTLSeconds: resp.TTLSeconds,
+		Meta:       resp.Meta,
+	}
+	if len(resp.Value) > 0 {
+		r.Value = append([]byte(nil), resp.Value...)
+	}
+	resp.Release()
+	op.resp, op.err = r, nil
+}

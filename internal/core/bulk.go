@@ -1,27 +1,226 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
 
-// MSet stores every pair, pipelining the writes through the
-// non-blocking window — the bulk access pattern Section III-B notes
-// can overlap the D/B transfer factor across requests. All writes are
-// attempted; the first error is returned.
-func (c *Client) MSet(pairs map[string][]byte) error {
-	futures := make([]*Future, 0, len(pairs))
-	for key, value := range pairs {
-		futures = append(futures, c.ISet(key, value))
+	"ecstore/internal/nearcache"
+)
+
+// The bulk APIs (MSet / MGet / MGetItems / MDelete) run through the
+// batched wire path by default: sub-operations are grouped per target
+// server and sent as ONE OpBatch frame per server per round (DESIGN
+// §12), so a 64-key multi-get on a 5-server cluster costs at most one
+// request frame per contacted server instead of 64. Per-key semantics —
+// failover walks, NotFound-vs-Unavailable classification, torn-write
+// discipline, retries — are identical to the single-op paths.
+// Config.DisableBulkBatch falls back to the per-key pipelined path.
+
+// bulkStrat returns the strategy's bulk implementation, or false when
+// the batched path is disabled (or the strategy has no bulk form).
+func (c *Client) bulkStrat() (bulkStrategy, bool) {
+	if c.cfg.DisableBulkBatch {
+		return nil, false
 	}
-	return WaitAll(futures...)
+	bs, ok := c.strat.(bulkStrategy)
+	return bs, ok
 }
 
-// MGetItems fetches every key with pipelined non-blocking reads,
-// returning the items found plus a per-key error map for the keys
-// whose state could not be determined (ErrUnavailable etc.). A key in
-// neither map is authoritatively absent. The split is what lets a
-// caller — the memcached proxy above all — answer a multi-get with an
-// error for an unreachable key instead of a silent miss that a cache
-// filler would then treat as permission to overwrite.
+// enterBulk is the bulk calls' admission: the closed check plus ONE
+// ARPE window slot for the whole call (the executor bounds its own
+// per-server fan-out), released by exitBulk.
+func (c *Client) enterBulk() bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	c.window <- struct{}{}
+	return true
+}
+
+func (c *Client) exitBulk() {
+	<-c.window
+	c.wg.Done()
+}
+
+// dedupeKeys returns keys with duplicates removed, first occurrence
+// order preserved: a duplicated key must not issue duplicate wire work
+// (or duplicate futures, on the legacy path).
+func dedupeKeys(keys []string) []string {
+	seen := make(map[string]bool, len(keys))
+	out := make([]string, 0, len(keys))
+	for _, key := range keys {
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// MSet stores every pair through the batched bulk path — chunked and
+// grouped so each target server receives one frame per round. All
+// writes are attempted; the error identifies the FIRST failed key in
+// sorted key order (deterministic across runs — map iteration order
+// never picks the reported error) and wraps the per-key cause.
+func (c *Client) MSet(pairs map[string][]byte) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(pairs))
+	for key := range pairs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	bs, ok := c.bulkStrat()
+	if !ok {
+		return c.msetLegacy(keys, pairs)
+	}
+	if !c.enterBulk() {
+		return ErrClosed
+	}
+	defer c.exitBulk()
+	om := c.ops["mset"]
+	start := time.Now()
+	writes := make([]bulkWrite, len(keys))
+	for i, key := range keys {
+		writes[i] = bulkWrite{key: key, value: pairs[key]}
+	}
+	b := &batcher{c: c}
+	errs := bs.bulkSet(b, writes)
+	for _, key := range keys {
+		c.invalidate(key)
+	}
+	c.hFramesPerBulk.Record(time.Duration(b.frames))
+	om.seconds.Record(time.Since(start))
+	om.total.Inc()
+	for _, key := range keys {
+		if err := errs[key]; err != nil {
+			om.errs.Inc()
+			return fmt.Errorf("core: mset %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// msetLegacy is the per-key pipelined MSet (DisableBulkBatch). keys is
+// sorted, so the reported first error is deterministic here too.
+func (c *Client) msetLegacy(keys []string, pairs map[string][]byte) error {
+	futures := make([]*Future, len(keys))
+	for i, key := range keys {
+		futures[i] = c.ISet(key, pairs[key])
+	}
+	var firstKey string
+	var firstErr error
+	for i, f := range futures {
+		if _, err := f.WaitItem(); err != nil && firstErr == nil {
+			firstKey, firstErr = keys[i], err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("core: mset %q: %w", firstKey, firstErr)
+	}
+	return nil
+}
+
+// MGetItems fetches every key through the batched bulk path, returning
+// the items found plus a per-key error map for the keys whose state
+// could not be determined (ErrUnavailable etc.). A key in neither map
+// is authoritatively absent. The split is what lets a caller — the
+// memcached proxy above all — answer a multi-get with an error for an
+// unreachable key instead of a silent miss that a cache filler would
+// then treat as permission to overwrite. Duplicate keys are fetched
+// once. Cached keys are served from the near cache without any wire
+// work; misses coalesce per key with concurrent readers through the
+// singleflight group and fill the cache generation-guarded, exactly as
+// single-key reads do.
 func (c *Client) MGetItems(keys []string) (map[string]Item, map[string]error) {
+	keys = dedupeKeys(keys)
+	found := make(map[string]Item, len(keys))
+	if len(keys) == 0 {
+		return found, nil
+	}
+	bs, ok := c.bulkStrat()
+	if !ok {
+		return c.mgetItemsLegacy(keys)
+	}
+	if !c.enterBulk() {
+		failed := make(map[string]error, len(keys))
+		for _, key := range keys {
+			failed[key] = ErrClosed
+		}
+		return found, failed
+	}
+	defer c.exitBulk()
+	om := c.ops["mget"]
+	start := time.Now()
+	misses := make([]string, 0, len(keys))
+	for _, key := range keys {
+		if v, ok := c.cache.Get(key); ok {
+			found[key] = Item{Value: v.Data, Version: v.Version, TTL: v.TTL}
+		} else {
+			misses = append(misses, key)
+		}
+	}
+	var failed map[string]error
+	if len(misses) > 0 {
+		b := &batcher{c: c}
+		values, errs, joined := c.flight.DoBulk(misses, func(lead []string) (map[string]nearcache.Value, map[string]error) {
+			// Generations are drawn BEFORE the fetch so a concurrent
+			// local write's invalidation in between wins and the fill is
+			// dropped — the bulk form of readThrough's discipline.
+			gens := make(map[string]uint64, len(lead))
+			for _, key := range lead {
+				gens[key] = c.cache.Begin(key)
+			}
+			f, ferrs := bs.bulkGet(b, lead)
+			vals := make(map[string]nearcache.Value, len(f))
+			for key, item := range f {
+				v := nearcache.Value{Data: item.Value, Version: item.Version, TTL: item.TTL}
+				vals[key] = v
+				c.cache.Put(key, v, gens[key])
+			}
+			for key, err := range ferrs {
+				if errors.Is(err, ErrNotFound) {
+					// Authoritative absence: any cached value is stale.
+					c.cache.Invalidate(key)
+				}
+			}
+			return vals, ferrs
+		})
+		if joined > 0 {
+			c.mCoalesced.Add(int64(joined))
+		}
+		for key, v := range values {
+			found[key] = Item{Value: v.Data, Version: v.Version, TTL: v.TTL}
+		}
+		for key, err := range errs {
+			if errors.Is(err, ErrNotFound) {
+				continue // absent key: not an error for a bulk read
+			}
+			if failed == nil {
+				failed = make(map[string]error)
+			}
+			failed[key] = err
+		}
+		c.hFramesPerBulk.Record(time.Duration(b.frames))
+	}
+	om.seconds.Record(time.Since(start))
+	om.total.Inc()
+	if len(failed) > 0 {
+		om.errs.Inc()
+	}
+	return found, failed
+}
+
+// mgetItemsLegacy is the per-key pipelined MGetItems (DisableBulkBatch).
+// keys is already deduplicated.
+func (c *Client) mgetItemsLegacy(keys []string) (map[string]Item, map[string]error) {
 	futures := make([]*Future, len(keys))
 	for i, key := range keys {
 		futures[i] = c.IGet(key)
@@ -45,11 +244,11 @@ func (c *Client) MGetItems(keys []string) (map[string]Item, map[string]error) {
 	return found, failed
 }
 
-// MGet fetches every key with pipelined non-blocking reads. The
-// result holds the keys that were found; keys that do not exist are
-// simply absent. The error reports the first infrastructure failure
-// in key order (ErrUnavailable etc.) — ErrNotFound is not an error for
-// MGet. Callers that need to know WHICH keys failed use MGetItems.
+// MGet fetches every key through the batched bulk path. The result
+// holds the keys that were found; keys that do not exist are simply
+// absent. The error reports the first infrastructure failure in key
+// order (ErrUnavailable etc.) — ErrNotFound is not an error for MGet.
+// Callers that need to know WHICH keys failed use MGetItems.
 func (c *Client) MGet(keys []string) (map[string][]byte, error) {
 	found, failed := c.MGetItems(keys)
 	out := make(map[string][]byte, len(found))
@@ -64,12 +263,61 @@ func (c *Client) MGet(keys []string) (map[string][]byte, error) {
 	return out, nil
 }
 
-// MDelete removes every key, pipelined. All deletes are attempted; the
-// first error is returned.
+// MDelete removes every key through the batched bulk path. All deletes
+// are attempted; the error identifies the FIRST failed key in sorted
+// key order (deterministic across runs) and wraps the per-key cause —
+// including ErrNotFound when a key was absent everywhere, matching the
+// single-op Delete.
 func (c *Client) MDelete(keys []string) error {
+	keys = dedupeKeys(keys)
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	bs, ok := c.bulkStrat()
+	if !ok {
+		return c.mdeleteLegacy(keys)
+	}
+	if !c.enterBulk() {
+		return ErrClosed
+	}
+	defer c.exitBulk()
+	om := c.ops["mdelete"]
+	start := time.Now()
+	b := &batcher{c: c}
+	errs := bs.bulkDel(b, keys)
+	for _, key := range keys {
+		c.invalidate(key)
+	}
+	c.hFramesPerBulk.Record(time.Duration(b.frames))
+	om.seconds.Record(time.Since(start))
+	om.total.Inc()
+	for _, key := range keys {
+		if err := errs[key]; err != nil {
+			om.errs.Inc()
+			return fmt.Errorf("core: mdelete %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// mdeleteLegacy is the per-key pipelined MDelete (DisableBulkBatch).
+// keys is deduplicated and sorted, so the reported first error is
+// deterministic here too.
+func (c *Client) mdeleteLegacy(keys []string) error {
 	futures := make([]*Future, len(keys))
 	for i, key := range keys {
 		futures[i] = c.IDelete(key)
 	}
-	return WaitAll(futures...)
+	var firstKey string
+	var firstErr error
+	for i, f := range futures {
+		if _, err := f.WaitItem(); err != nil && firstErr == nil {
+			firstKey, firstErr = keys[i], err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("core: mdelete %q: %w", firstKey, firstErr)
+	}
+	return nil
 }

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ecstore/internal/erasure"
+	"ecstore/internal/rpc"
+	"ecstore/internal/wire"
+)
+
+// bulkGet is the erasure-coded bulk read: client-decode schemes gather
+// every key's chunks in shared per-server frames (data chunks first,
+// parity only for the keys that need it); server-decode schemes run the
+// coordinator failover walk for all keys in lockstep. Retry discipline
+// matches the single-op path.
+func (e *ecStrategy) bulkGet(b *batcher, keys []string) (map[string]Item, map[string]error) {
+	return e.c.bulkRetry(keys, func(keys []string) (map[string]Item, map[string]error) {
+		if e.clientDecodes() {
+			return e.clientDecodeBulkGet(b, keys)
+		}
+		return e.serverDecodeBulkGet(b, keys)
+	})
+}
+
+func (e *ecStrategy) serverDecodeBulkGet(b *batcher, keys []string) (map[string]Item, map[string]error) {
+	n := e.k + e.m
+	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m)}
+	errs := make(map[string]error)
+	orders := make(map[string][]string, len(keys))
+	for _, key := range keys {
+		placement := e.c.placement(key, n)
+		if placement == nil {
+			errs[key] = ErrUnavailable
+			continue
+		}
+		orders[key] = e.c.orderByHealth(distinct(placement))
+	}
+	// A decode coordinator that times out IS failed over (reads are
+	// idempotent), same as the single-op path. OpDecodeGet is not
+	// batchable — the executor pipelines these as plain frames.
+	ok, werrs := bulkFailoverWalk(b, orders,
+		func(key string) wire.BatchReq {
+			return wire.BatchReq{Op: wire.OpDecodeGet, Key: key, Meta: meta}
+		},
+		func(op *subOp) bool { return op.unavailable() })
+	found := make(map[string]Item, len(ok))
+	for key, op := range ok {
+		found[key] = Item{Value: op.resp.Value, Version: op.resp.Meta.Stripe, TTL: op.resp.TTLSeconds}
+	}
+	for key, err := range werrs {
+		errs[key] = err
+	}
+	return found, errs
+}
+
+// clientDecodeBulkGet is the bulk analogue of clientDecodeGet: one
+// round fetching chunks [0,K) of every key — grouped so each server
+// receives ONE frame carrying its chunk of every key it holds — then a
+// parity round [K,N) only for the keys still short of K chunks, then
+// per-key reconstruction with the same absence/unavailability
+// classification as the single-op path.
+func (e *ecStrategy) clientDecodeBulkGet(b *batcher, keys []string) (map[string]Item, map[string]error) {
+	n := e.k + e.m
+	found := make(map[string]Item, len(keys))
+	errs := make(map[string]error)
+	type kstate struct {
+		placement []string
+		collector *wire.ChunkCollector
+		// reachable counts locations that answered at all; notFound the
+		// authoritative misses among them. Unreachable and timed-out
+		// locations are in neither.
+		reachable, notFound int
+		ttlByStripe         map[uint64]uint32
+	}
+	states := make(map[string]*kstate, len(keys))
+	live := make([]string, 0, len(keys))
+	for _, key := range keys {
+		placement := e.c.placement(key, n)
+		if placement == nil {
+			errs[key] = ErrUnavailable
+			continue
+		}
+		states[key] = &kstate{
+			placement:   placement,
+			collector:   wire.NewChunkCollector(e.k, n),
+			ttlByStripe: make(map[uint64]uint32),
+		}
+		live = append(live, key)
+	}
+
+	fetch := func(keys []string, lo, hi int) {
+		var ops []*subOp
+		var opKeys []string
+		for _, key := range keys {
+			st := states[key]
+			for i := lo; i < hi; i++ {
+				ops = append(ops, &subOp{addr: st.placement[i], req: wire.BatchReq{
+					Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+				}})
+				opKeys = append(opKeys, key)
+			}
+		}
+		b.send(ops)
+		for i, op := range ops {
+			st := states[opKeys[i]]
+			if op.err != nil {
+				continue // unreachable or hung; parity covers it
+			}
+			st.reachable++
+			if op.resp.Status != wire.StatusOK {
+				if op.resp.Status == wire.StatusNotFound {
+					st.notFound++
+				}
+				continue
+			}
+			meta, chunk, err := wire.DecodeChunkPayload(op.resp.Value)
+			if err != nil {
+				continue // corrupt or torn chunk: parity covers it
+			}
+			// chunk aliases the sub-response's value, which the executor
+			// already copied out of the pooled frame — safe to retain.
+			st.collector.Add(meta, chunk)
+			if _, seen := st.ttlByStripe[meta.Stripe]; !seen {
+				st.ttlByStripe[meta.Stripe] = op.resp.TTLSeconds
+			}
+		}
+	}
+
+	fetch(live, 0, e.k)
+	var short []string
+	for _, key := range live {
+		if !states[key].collector.Decodable() {
+			short = append(short, key)
+		}
+	}
+	if len(short) > 0 {
+		fetch(short, e.k, n)
+	}
+
+	for _, key := range live {
+		st := states[key]
+		stripe, totalLen, chunks, ok := st.collector.Best()
+		if !ok {
+			// Not-found only on conclusive evidence, exactly as the
+			// single-op path: every reachable location answered an
+			// authoritative miss AND the unreachable ones could not hold
+			// K chunks between them.
+			if st.reachable > 0 && st.notFound == st.reachable && n-st.reachable < e.k {
+				errs[key] = ErrNotFound
+			} else {
+				errs[key] = fmt.Errorf("%w: no stripe of %q has %d chunks available", ErrUnavailable, key, e.k)
+			}
+			continue
+		}
+		var rebuilt []int
+		for i := 0; i < e.k; i++ {
+			if chunks[i] == nil {
+				rebuilt = append(rebuilt, i)
+			}
+		}
+		if len(rebuilt) > 0 {
+			e.c.mDegraded.Inc()
+			e.c.mRebuilt.Add(int64(len(rebuilt)))
+			if err := erasure.ReconstructData(e.code, chunks); err != nil {
+				errs[key] = err
+				continue
+			}
+		}
+		value, err := erasure.Join(chunks, e.k, int(totalLen))
+		// Join copied the data out; only the pool-allocated rebuilt
+		// chunks go back (fetched chunks are plain heap copies).
+		for _, i := range rebuilt {
+			erasure.DefaultPool.Put(chunks[i])
+		}
+		if err != nil {
+			errs[key] = err
+			continue
+		}
+		found[key] = Item{Value: value, Version: stripe, TTL: st.ttlByStripe[stripe]}
+	}
+	return found, errs
+}
+
+// bulkSet is the erasure-coded bulk write. Client-encode schemes split
+// and encode every value, then distribute ALL keys' chunks in one
+// round — each chunk holder receives one frame carrying its chunk of
+// every key — and unwind the stripes of failed keys with one batched
+// round of stripe-conditional deletes. Server-encode schemes run the
+// coordinator walk, failing over only on an unreachable coordinator.
+func (e *ecStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
+	if !e.clientEncodes() {
+		return e.serverEncodeBulkSet(b, writes)
+	}
+	n := e.k + e.m
+	errs := make(map[string]error)
+	type kset struct {
+		placement []string
+		stripe    uint64
+		ops       []*subOp
+	}
+	sets := make(map[string]*kset, len(writes))
+	var ops []*subOp
+	for _, w := range writes {
+		placement := e.c.placement(w.key, n)
+		if placement == nil {
+			errs[w.key] = ErrUnavailable
+			continue
+		}
+		ps := erasure.SplitPooled(w.value, e.k, e.m, nil)
+		if err := e.code.Encode(ps.Shards); err != nil {
+			ps.Release()
+			errs[w.key] = err
+			continue
+		}
+		meta := wire.ECMeta{
+			K: uint8(e.k), M: uint8(e.m),
+			TotalLen: uint32(len(w.value)),
+			Stripe:   wire.NewStripeID(),
+		}
+		ks := &kset{placement: placement, stripe: meta.Stripe}
+		ttlSecs := ttlSeconds(w.ttl)
+		for i := range placement {
+			cm := meta
+			cm.ChunkIndex = uint8(i)
+			// Chunk payloads are leased from the frame pool; the executor
+			// holds the lease until the round (including any re-sends) is
+			// over, then returns it.
+			fp := e.c.pool.FramePool()
+			op := &subOp{
+				addr:    placement[i],
+				reqPool: fp,
+				req: wire.BatchReq{
+					Op:         wire.OpSetChunk,
+					Key:        wire.ChunkKey(w.key, i),
+					Value:      wire.EncodeChunkPayloadPooled(fp, cm, ps.Shards[i]),
+					TTLSeconds: ttlSecs,
+					Meta:       cm,
+				},
+			}
+			ks.ops = append(ks.ops, op)
+			ops = append(ops, op)
+		}
+		// The chunk payloads copied the shards; the split buffers can go
+		// back before the round is even sent.
+		ps.Release()
+		sets[w.key] = ks
+	}
+	b.send(ops)
+
+	var unwind []*subOp
+	for key, ks := range sets {
+		for i, op := range ks.ops {
+			if err := op.fail(); err != nil {
+				errs[key] = fmt.Errorf("chunk %d write: %w", i, err)
+				break
+			}
+		}
+		if errs[key] == nil {
+			continue
+		}
+		// Unwind the failed key's stripe: stripe-conditional deletes of
+		// all its chunks, so a concurrent newer overwrite is never
+		// collateral damage. Best-effort, as the single-op path — a down
+		// holder keeps a stale chunk, but a sub-K stripe can never decode
+		// or shadow an older one.
+		e.c.mUnwinds.Inc()
+		for i := range ks.ops {
+			unwind = append(unwind, &subOp{addr: ks.placement[i], req: wire.BatchReq{
+				Op:   wire.OpDelete,
+				Key:  wire.ChunkKey(key, i),
+				Meta: wire.ECMeta{Stripe: ks.stripe},
+			}})
+		}
+	}
+	b.send(unwind)
+	return errs
+}
+
+func (e *ecStrategy) serverEncodeBulkSet(b *batcher, writes []bulkWrite) map[string]error {
+	n := e.k + e.m
+	errs := make(map[string]error)
+	orders := make(map[string][]string, len(writes))
+	byKey := make(map[string]bulkWrite, len(writes))
+	for _, w := range writes {
+		placement := e.c.placement(w.key, n)
+		if placement == nil {
+			errs[w.key] = ErrUnavailable
+			continue
+		}
+		orders[w.key] = e.c.orderByHealth(distinct(placement))
+		byKey[w.key] = w
+	}
+	// Fail over ONLY on an unreachable coordinator (server down). A
+	// timeout is NOT failed over: the write may be mid-flight on the
+	// first coordinator, and re-running it elsewhere would be a silent
+	// retry past the stripe-write stage — same rule as the single-op
+	// path. OpEncodeSet is not batchable; these go as pipelined plain
+	// frames.
+	_, werrs := bulkFailoverWalk(b, orders,
+		func(key string) wire.BatchReq {
+			w := byKey[key]
+			return wire.BatchReq{
+				Op: wire.OpEncodeSet, Key: key, Value: w.value,
+				TTLSeconds: ttlSeconds(w.ttl),
+				Meta:       wire.ECMeta{K: uint8(e.k), M: uint8(e.m), TotalLen: uint32(len(w.value))},
+			}
+		},
+		func(op *subOp) bool { return errors.Is(op.err, rpc.ErrServerDown) })
+	for key, err := range werrs {
+		errs[key] = err
+	}
+	return errs
+}
+
+// bulkDel is the erasure-coded bulk delete: every key's chunk deletes
+// in one round, classified per key exactly as the single-op path.
+func (e *ecStrategy) bulkDel(b *batcher, keys []string) map[string]error {
+	n := e.k + e.m
+	errs := make(map[string]error)
+	perKey := make(map[string][]*subOp, len(keys))
+	var ops []*subOp
+	for _, key := range keys {
+		placement := e.c.placement(key, n)
+		if placement == nil {
+			errs[key] = ErrUnavailable
+			continue
+		}
+		for i := range placement {
+			op := &subOp{addr: placement[i], req: wire.BatchReq{
+				Op: wire.OpDelete, Key: wire.ChunkKey(key, i),
+			}}
+			ops = append(ops, op)
+			perKey[key] = append(perKey[key], op)
+		}
+	}
+	b.send(ops)
+	for key, kops := range perKey {
+		deleted, notFound, failed := 0, 0, 0
+		var failErr, statusErr error
+		for _, op := range kops {
+			if op.err != nil {
+				failed++
+				if failErr == nil {
+					failErr = op.err
+				}
+				continue
+			}
+			switch op.resp.Status {
+			case wire.StatusOK:
+				deleted++
+			case wire.StatusNotFound:
+				notFound++
+			default:
+				if statusErr == nil {
+					statusErr = op.resp.Err()
+				}
+			}
+		}
+		_ = notFound // counted for symmetry with the single-op path
+		switch {
+		case statusErr != nil:
+			// A non-NotFound status error surfaces directly, as the
+			// single-op path returns it.
+			errs[key] = statusErr
+		case deleted == 0 && failed >= e.k:
+			errs[key] = fmt.Errorf("%w: delete %q: %v", ErrUnavailable, key, failErr)
+		case deleted == 0:
+			errs[key] = ErrNotFound
+		case failed >= e.k:
+			errs[key] = fmt.Errorf("%w: delete %q left %d chunk holders unreached", ErrUnavailable, key, failed)
+		}
+	}
+	return errs
+}
+
+// bulkGet for the hybrid policy: probe the replicated form for every
+// key first, then the erasure-coded form for the keys the replicated
+// probe reported absent or unavailable — the same merge rules as the
+// single-op hybrid get, two batched rounds instead of 2N frames.
+func (h *hybridStrategy) bulkGet(b *batcher, keys []string) (map[string]Item, map[string]error) {
+	found, errs := h.rep.bulkGet(b, keys)
+	var probe []string
+	for _, key := range keys {
+		err := errs[key]
+		if err != nil && (errors.Is(err, ErrNotFound) || errors.Is(err, ErrUnavailable)) {
+			probe = append(probe, key)
+		}
+	}
+	if len(probe) == 0 {
+		return found, errs
+	}
+	ecFound, ecErrs := h.ec.bulkGet(b, probe)
+	for _, key := range probe {
+		if item, ok := ecFound[key]; ok {
+			found[key] = item
+			delete(errs, key)
+			continue
+		}
+		ecErr := ecErrs[key]
+		if ecErr == nil {
+			ecErr = ErrNotFound
+		}
+		// An EC-side miss proves nothing about an unreachable replicated
+		// form: the replicated probe's unavailability wins (see the
+		// single-op hybrid get).
+		if errors.Is(ecErr, ErrNotFound) && errors.Is(errs[key], ErrUnavailable) {
+			continue
+		}
+		errs[key] = ecErr
+	}
+	return found, errs
+}
+
+// bulkSet for the hybrid policy: writes partition by the size
+// threshold into one replicated and one erasure-coded bulk write, and
+// each key that landed gets its OTHER representation purged — batched,
+// best-effort, and strictly after the write succeeded, exactly as the
+// single-op hybrid set.
+func (h *hybridStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
+	var small, large []bulkWrite
+	for _, w := range writes {
+		if len(w.value) < h.threshold {
+			small = append(small, w)
+		} else {
+			large = append(large, w)
+		}
+	}
+	errs := make(map[string]error)
+	var purgeEC, purgeRep []string
+	if len(small) > 0 {
+		repErrs := h.rep.bulkSet(b, small)
+		for _, w := range small {
+			if err := repErrs[w.key]; err != nil {
+				errs[w.key] = err
+			} else {
+				purgeEC = append(purgeEC, w.key)
+			}
+		}
+	}
+	if len(large) > 0 {
+		ecErrs := h.ec.bulkSet(b, large)
+		for _, w := range large {
+			if err := ecErrs[w.key]; err != nil {
+				errs[w.key] = err
+			} else {
+				purgeRep = append(purgeRep, w.key)
+			}
+		}
+	}
+	if len(purgeEC) > 0 {
+		_ = h.ec.bulkDel(b, purgeEC)
+	}
+	if len(purgeRep) > 0 {
+		_ = h.rep.bulkDel(b, purgeRep)
+	}
+	return errs
+}
+
+// bulkDel for the hybrid policy deletes both representations of every
+// key and merges per the single-op rules: a real failure on either
+// side surfaces; not-found is conclusive only when both sides agree.
+func (h *hybridStrategy) bulkDel(b *batcher, keys []string) map[string]error {
+	repErrs := h.rep.bulkDel(b, keys)
+	ecErrs := h.ec.bulkDel(b, keys)
+	errs := make(map[string]error)
+	for _, key := range keys {
+		repErr, ecErr := repErrs[key], ecErrs[key]
+		switch {
+		case repErr != nil && !errors.Is(repErr, ErrNotFound):
+			errs[key] = repErr
+		case ecErr != nil && !errors.Is(ecErr, ErrNotFound):
+			errs[key] = ecErr
+		case errors.Is(repErr, ErrNotFound) && errors.Is(ecErr, ErrNotFound):
+			errs[key] = ErrNotFound
+		}
+	}
+	return errs
+}

@@ -1,0 +1,211 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ecstore/internal/core"
+)
+
+// TestBulkOpsSurviveCutServer is the bulk-path leak sweep: a server cut
+// mid-traffic must not strand a single frame-pool lease — every pooled
+// request buffer the executor builds has to come back whether its frame
+// was sent, failed to send, bisected, or re-sent plain. The pool
+// get/put balance is asserted against a baseline taken before the
+// cluster exists (the storm-test discipline).
+func TestBulkOpsSurviveCutServer(t *testing.T) {
+	for _, mode := range []string{"era-ce-cd", "async-rep"} {
+		t.Run(mode, func(t *testing.T) {
+			baseline := poolDelta()
+			cl, netem := startNetemCluster(t, 5)
+			cfg := allModes()[mode]
+			cfg.OpTimeout = 300 * time.Millisecond
+			cfg.MaxRetries = -1
+			c := newClient(t, cl, cfg)
+
+			pairs := bulkPairs("cut-"+mode, 32, 2048)
+			keys := pairKeys(pairs)
+			if err := c.MSet(pairs); err != nil {
+				t.Fatal(err)
+			}
+
+			dead := cl.Addrs()[0]
+			netem.Cut(dead)
+
+			// One server down is within both modes' tolerance (M=2 parity
+			// chunks / 3 replicas): every set key must still be readable,
+			// with nothing in the failed map.
+			found, failed := c.MGetItems(keys)
+			if len(failed) != 0 {
+				t.Fatalf("within-tolerance MGetItems failed keys: %v", failed)
+			}
+			if len(found) != len(keys) {
+				t.Fatalf("found %d of %d keys with one server cut", len(found), len(keys))
+			}
+			for key, item := range found {
+				if !bytes.Equal(item.Value, pairs[key]) {
+					t.Fatalf("%s: degraded read returned wrong bytes", key)
+				}
+			}
+
+			// Writes and deletes under the cut may legitimately error
+			// (a chunk/replica holder is unreachable); what must hold is
+			// that they return — and leak nothing.
+			_ = c.MSet(pairs)
+			_ = c.MDelete(keys)
+
+			netem.Restore(dead)
+			waitPoolBaseline(t, baseline)
+		})
+	}
+}
+
+// TestBulkOpsSurviveHungServer drives the bulk path through the
+// timeout-shaped failure: a server that accepts frames and never
+// answers. Calls must return within the failure-detection bound and
+// the timed-out frames' leases must still drain back to the pool.
+func TestBulkOpsSurviveHungServer(t *testing.T) {
+	baseline := poolDelta()
+	cl, netem := startNetemCluster(t, 5)
+	cfg := allModes()["era-ce-cd"]
+	cfg.OpTimeout = 200 * time.Millisecond
+	cfg.MaxRetries = -1
+	c := newClient(t, cl, cfg)
+
+	pairs := bulkPairs("hang", 24, 1024)
+	keys := pairKeys(pairs)
+	if err := c.MSet(pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	hung := cl.Addrs()[1]
+	netem.Hang(hung)
+
+	start := time.Now()
+	found, failed := c.MGetItems(keys)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bulk read with a hung server took %v", elapsed)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("within-tolerance MGetItems failed keys: %v", failed)
+	}
+	if len(found) != len(keys) {
+		t.Fatalf("found %d of %d keys with one server hung", len(found), len(keys))
+	}
+	_ = c.MSet(pairs)
+
+	netem.Restore(hung)
+	waitPoolBaseline(t, baseline)
+}
+
+// TestMGetPartialMapsWithDownServer pins the three-way answer contract
+// of MGetItems under failure (DESIGN §12): a stored key that is still
+// reachable appears in found, an absent key appears in NEITHER map
+// (silent miss — absence is authoritative, not an error), and only
+// keys whose state cannot be determined appear in failed. Beyond the
+// tolerance, stored keys move to failed with ErrUnavailable rather
+// than masquerading as misses.
+func TestMGetPartialMapsWithDownServer(t *testing.T) {
+	baseline := poolDelta()
+	cl, netem := startNetemCluster(t, 5)
+	cfg := allModes()["era-ce-cd"]
+	cfg.OpTimeout = 300 * time.Millisecond
+	cfg.MaxRetries = -1
+	c := newClient(t, cl, cfg)
+
+	pairs := bulkPairs("partial", 16, 4096)
+	stored := pairKeys(pairs)
+	if err := c.MSet(pairs); err != nil {
+		t.Fatal(err)
+	}
+	absent := []string{"partial-ghost-a", "partial-ghost-b"}
+	all := append(append([]string{}, stored...), absent...)
+
+	// Within tolerance (1 of 5 down, M=2): everything stored is found,
+	// absent keys are silent misses, failed is empty.
+	netem.Cut(cl.Addrs()[2])
+	found, failed := c.MGetItems(all)
+	if len(failed) != 0 {
+		t.Fatalf("within tolerance: failed = %v", failed)
+	}
+	if len(found) != len(stored) {
+		t.Fatalf("within tolerance: found %d of %d stored keys", len(found), len(stored))
+	}
+	for _, key := range absent {
+		if _, ok := found[key]; ok {
+			t.Fatalf("absent key %q reported as found", key)
+		}
+	}
+
+	// Beyond tolerance (3 of 5 down > M=2): stored keys must surface in
+	// failed as unavailability — NOT vanish like misses. That
+	// distinction is what stops a cache filler upstream from treating
+	// an outage as permission to overwrite.
+	netem.Cut(cl.Addrs()[3])
+	netem.Cut(cl.Addrs()[4])
+	found, failed = c.MGetItems(stored)
+	if len(found) != 0 {
+		t.Fatalf("beyond tolerance: %d keys claimed found", len(found))
+	}
+	if len(failed) != len(stored) {
+		t.Fatalf("beyond tolerance: %d of %d stored keys in failed map", len(failed), len(stored))
+	}
+	for key, err := range failed {
+		if !errors.Is(err, core.ErrUnavailable) {
+			t.Fatalf("%s: failed with %v, want ErrUnavailable", key, err)
+		}
+	}
+
+	// MGet collapses the same state into (partial map, first error in
+	// caller key order).
+	if _, err := c.MGet(stored); !errors.Is(err, core.ErrUnavailable) {
+		t.Fatalf("MGet beyond tolerance: %v, want ErrUnavailable", err)
+	}
+
+	for _, addr := range cl.Addrs()[2:] {
+		netem.Restore(addr)
+	}
+	waitPoolBaseline(t, baseline)
+}
+
+// TestBulkCutMidFlight cuts a server WHILE a large bulk write is in
+// flight — the race the leak sweep exists for: frames already sent
+// whose responses will never come, frames not yet sent that fail at
+// the transport. Every lease must drain regardless of which side of
+// the cut each frame landed on.
+func TestBulkCutMidFlight(t *testing.T) {
+	baseline := poolDelta()
+	cl, netem := startNetemCluster(t, 5)
+	cfg := allModes()["era-ce-cd"]
+	cfg.OpTimeout = 300 * time.Millisecond
+	cfg.MaxRetries = -1
+	c := newClient(t, cl, cfg)
+
+	// Slow one server slightly so bulk calls are reliably mid-flight
+	// when the axe falls on another.
+	netem.Delay(cl.Addrs()[1], 2*time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			pairs := bulkPairs(fmt.Sprintf("mid-%02d", i), 16, 8192)
+			_ = c.MSet(pairs)
+			_, _ = c.MGetItems(pairKeys(pairs))
+			_ = c.MDelete(pairKeys(pairs))
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	dead := cl.Addrs()[0]
+	netem.Cut(dead)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("bulk traffic wedged after mid-flight cut")
+	}
+	netem.Restore(dead)
+	waitPoolBaseline(t, baseline)
+}

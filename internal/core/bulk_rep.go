@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecstore/internal/wire"
+)
+
+// bulkWrite is one key's write within a bulk set.
+type bulkWrite struct {
+	key   string
+	value []byte
+	ttl   time.Duration
+}
+
+// bulkStrategy is the bulk counterpart of strategy: implementations
+// execute whole key sets through the batch executor — one frame per
+// target server per round — with the same per-key semantics as their
+// single-op methods. The failed maps may carry ErrNotFound entries
+// (authoritative absence); the public APIs decide whether absence is
+// an error for their call. Key slices are duplicate-free (the public
+// layer dedupes).
+type bulkStrategy interface {
+	bulkGet(b *batcher, keys []string) (found map[string]Item, failed map[string]error)
+	bulkSet(b *batcher, writes []bulkWrite) map[string]error
+	bulkDel(b *batcher, keys []string) map[string]error
+}
+
+var (
+	_ bulkStrategy = (*repStrategy)(nil)
+	_ bulkStrategy = (*ecStrategy)(nil)
+	_ bulkStrategy = (*hybridStrategy)(nil)
+)
+
+// bulkRetry re-runs round for the keys whose failure is retriable,
+// with withRetry's backoff discipline. The retried keys share one
+// counted retry and one backoff sleep per round — the bulk analogue of
+// one op retrying — instead of a sleep per key. round must report
+// every key it is given in found or failed.
+func (c *Client) bulkRetry(keys []string,
+	round func(keys []string) (map[string]Item, map[string]error)) (map[string]Item, map[string]error) {
+	found := make(map[string]Item, len(keys))
+	failed := make(map[string]error)
+	backoff := min(c.cfg.RetryBackoff, retryBackoffCap)
+	pending := keys
+	for attempt := 0; ; attempt++ {
+		f, errs := round(pending)
+		for key, item := range f {
+			found[key] = item
+		}
+		var retry []string
+		for key, err := range errs {
+			if attempt < c.cfg.MaxRetries && retriable(err) {
+				retry = append(retry, key)
+			} else {
+				failed[key] = err
+			}
+		}
+		if len(retry) == 0 {
+			return found, failed
+		}
+		sort.Strings(retry)
+		c.mRetries.Inc()
+		c.retrySleep(retryJitter(backoff))
+		backoff = nextBackoff(backoff)
+		pending = retry
+	}
+}
+
+// bulkFailoverWalk runs every key's failover walk in lockstep: round r
+// sends each outstanding key's request to the r-th server of its order
+// — so one round is one batch frame per distinct server — and a key
+// moves to the next round only when failover(op) says the attempt
+// failed in a way the single-op walk would step past. StatusOK ends a
+// key's walk in okOps; StatusNotFound is authoritative absence; any
+// other non-walkable failure is final. A key that exhausts its order
+// reports ErrUnavailable wrapping its last walked-past failure, or
+// ErrNotFound when its order was empty.
+func bulkFailoverWalk(b *batcher, orders map[string][]string,
+	mk func(key string) wire.BatchReq,
+	failover func(op *subOp) bool) (okOps map[string]*subOp, errs map[string]error) {
+	okOps = make(map[string]*subOp, len(orders))
+	errs = make(map[string]error)
+	next := make(map[string]int, len(orders))
+	lastErr := make(map[string]error)
+	outstanding := make([]string, 0, len(orders))
+	for key := range orders {
+		outstanding = append(outstanding, key)
+	}
+	sort.Strings(outstanding) // deterministic issue order
+	for len(outstanding) > 0 {
+		ops := make([]*subOp, 0, len(outstanding))
+		opKeys := make([]string, 0, len(outstanding))
+		for _, key := range outstanding {
+			order := orders[key]
+			if next[key] >= len(order) {
+				if lastErr[key] != nil {
+					errs[key] = fmt.Errorf("%w: %v", ErrUnavailable, lastErr[key])
+				} else {
+					errs[key] = ErrNotFound
+				}
+				continue
+			}
+			if next[key] > 0 {
+				b.c.mFailovers.Inc()
+			}
+			addr := order[next[key]]
+			next[key]++
+			ops = append(ops, &subOp{addr: addr, req: mk(key)})
+			opKeys = append(opKeys, key)
+		}
+		if len(ops) == 0 {
+			break
+		}
+		b.send(ops)
+		outstanding = outstanding[:0]
+		for i, op := range ops {
+			key := opKeys[i]
+			switch {
+			case op.err == nil && op.resp.Status == wire.StatusOK:
+				okOps[key] = op
+			case op.err == nil && op.resp.Status == wire.StatusNotFound:
+				errs[key] = ErrNotFound
+			case failover(op):
+				lastErr[key] = op.fail()
+				outstanding = append(outstanding, key)
+			default:
+				errs[key] = op.fail()
+			}
+		}
+	}
+	return okOps, errs
+}
+
+// bulkGet is the replicated bulk read: one OpGet per outstanding key
+// per failover round, batched per server, with the single-op walk's
+// classification (live NotFound authoritative, unreachable walks on,
+// exhaustion is unavailability) and retry discipline.
+func (r *repStrategy) bulkGet(b *batcher, keys []string) (map[string]Item, map[string]error) {
+	return r.c.bulkRetry(keys, func(keys []string) (map[string]Item, map[string]error) {
+		errs := make(map[string]error)
+		orders := make(map[string][]string, len(keys))
+		for _, key := range keys {
+			placement := r.c.placement(key, r.replicas)
+			if placement == nil {
+				errs[key] = ErrUnavailable
+				continue
+			}
+			orders[key] = r.c.orderByHealth(distinct(placement))
+		}
+		ok, werrs := bulkFailoverWalk(b, orders,
+			func(key string) wire.BatchReq { return wire.BatchReq{Op: wire.OpGet, Key: key} },
+			func(op *subOp) bool { return op.unavailable() })
+		found := make(map[string]Item, len(ok))
+		for key, op := range ok {
+			found[key] = Item{Value: op.resp.Value, Version: op.resp.Meta.Stripe, TTL: op.resp.TTLSeconds}
+		}
+		for key, err := range werrs {
+			errs[key] = err
+		}
+		return found, errs
+	})
+}
+
+// bulkSet is the replicated bulk write. Async-Rep issues every replica
+// write of every key in one round; Sync-Rep preserves the single-op
+// blocking ladder per key (replica j only after replica j-1 landed) by
+// walking replica-index rounds, each round still one frame per server.
+// Either way a key's error is its first failure in placement order,
+// reported only after every issued write was waited out (the executor
+// waits each round fully — the same torn-write discipline as the
+// single-op path).
+func (r *repStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
+	errs := make(map[string]error)
+	placements := make(map[string][]string, len(writes))
+	versions := make(map[string]uint64, len(writes))
+	for _, w := range writes {
+		placement := r.c.placement(w.key, r.replicas)
+		if placement == nil {
+			errs[w.key] = ErrUnavailable
+			continue
+		}
+		placements[w.key] = placement
+		// One client-minted version per logical write, carried to every
+		// replica in Meta.Stripe (the CAS token), as the single-op path.
+		versions[w.key] = wire.NewStripeID()
+	}
+	mkOp := func(w bulkWrite, addr string) *subOp {
+		return &subOp{addr: addr, req: wire.BatchReq{
+			Op: wire.OpSet, Key: w.key, Value: w.value,
+			TTLSeconds: ttlSeconds(w.ttl),
+			Meta:       wire.ECMeta{Stripe: versions[w.key]},
+		}}
+	}
+	if r.async {
+		var ops []*subOp
+		perKey := make(map[string][]*subOp, len(writes))
+		for _, w := range writes {
+			for _, addr := range placements[w.key] {
+				op := mkOp(w, addr)
+				ops = append(ops, op)
+				perKey[w.key] = append(perKey[w.key], op)
+			}
+		}
+		b.send(ops)
+		for key, kops := range perKey {
+			for _, op := range kops {
+				if err := op.fail(); err != nil {
+					errs[key] = err
+					break
+				}
+			}
+		}
+		return errs
+	}
+	for j := 0; ; j++ {
+		var ops []*subOp
+		var opKeys []string
+		for _, w := range writes {
+			placement := placements[w.key]
+			if placement == nil || errs[w.key] != nil || j >= len(placement) {
+				continue
+			}
+			ops = append(ops, mkOp(w, placement[j]))
+			opKeys = append(opKeys, w.key)
+		}
+		if len(ops) == 0 {
+			return errs
+		}
+		b.send(ops)
+		for i, op := range ops {
+			if err := op.fail(); err != nil {
+				errs[opKeys[i]] = err
+			}
+		}
+	}
+}
+
+// bulkDel is the replicated bulk delete: every (key, replica) delete in
+// one round, classified per key exactly as the single-op path — no
+// replica reachable is unavailability, every reachable replica
+// answering not-found is an authoritative miss.
+func (r *repStrategy) bulkDel(b *batcher, keys []string) map[string]error {
+	errs := make(map[string]error)
+	var ops []*subOp
+	perKey := make(map[string][]*subOp, len(keys))
+	for _, key := range keys {
+		placement := r.c.placement(key, r.replicas)
+		if placement == nil {
+			errs[key] = ErrUnavailable
+			continue
+		}
+		for _, addr := range placement {
+			op := &subOp{addr: addr, req: wire.BatchReq{Op: wire.OpDelete, Key: key}}
+			ops = append(ops, op)
+			perKey[key] = append(perKey[key], op)
+		}
+	}
+	b.send(ops)
+	for key, kops := range perKey {
+		anyLive, deleted := false, 0
+		for _, op := range kops {
+			if op.err != nil {
+				continue
+			}
+			switch op.resp.Status {
+			case wire.StatusOK:
+				anyLive = true
+				deleted++
+			case wire.StatusNotFound:
+				anyLive = true
+			}
+		}
+		switch {
+		case !anyLive:
+			errs[key] = ErrUnavailable
+		case deleted == 0:
+			errs[key] = ErrNotFound
+		}
+	}
+	return errs
+}

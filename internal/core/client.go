@@ -66,6 +66,18 @@ type Client struct {
 	mScanUnreached *metrics.Counter
 	mCoalesced     *metrics.Counter
 
+	// Bulk-path metric handles. mBulkFrames / mBulkSubops count wire
+	// frames and sub-operations issued by the batch executor — their
+	// ratio is the amortization the batching buys. hFramesPerBulk and
+	// hBulkBatchSize are count-valued histograms (samples recorded as
+	// time.Duration(n), so "1" in the export means one frame / one
+	// sub-op, not a nanosecond): frames per logical bulk call, and
+	// sub-ops per batch frame.
+	mBulkFrames    *metrics.Counter
+	mBulkSubops    *metrics.Counter
+	hFramesPerBulk *stats.Histogram
+	hBulkBatchSize *stats.Histogram
+
 	// sleep overrides the retry-backoff sleep (tests only; time.Sleep
 	// when nil).
 	sleep func(time.Duration)
@@ -136,10 +148,13 @@ func New(cfg Config) (*Client, error) {
 		ring:   hashring.New(0),
 		window: make(chan struct{}, cfg.Window),
 		ops: map[string]*opMetrics{
-			"set":    newOpMetrics(reg, "set"),
-			"get":    newOpMetrics(reg, "get"),
-			"delete": newOpMetrics(reg, "delete"),
-			"cas":    newOpMetrics(reg, "cas"),
+			"set":     newOpMetrics(reg, "set"),
+			"get":     newOpMetrics(reg, "get"),
+			"delete":  newOpMetrics(reg, "delete"),
+			"cas":     newOpMetrics(reg, "cas"),
+			"mget":    newOpMetrics(reg, "mget"),
+			"mset":    newOpMetrics(reg, "mset"),
+			"mdelete": newOpMetrics(reg, "mdelete"),
 		},
 		mRetries:       reg.Counter("ecstore_client_retries_total"),
 		mDegraded:      reg.Counter("ecstore_client_degraded_reads_total"),
@@ -150,6 +165,10 @@ func New(cfg Config) (*Client, error) {
 		mScans:         reg.Counter("ecstore_client_scans_total"),
 		mScanUnreached: reg.Counter("ecstore_client_scan_servers_unreached_total"),
 		mCoalesced:     reg.Counter("ecstore_client_coalesced_reads_total"),
+		mBulkFrames:    reg.Counter("ecstore_client_bulk_frames_total"),
+		mBulkSubops:    reg.Counter("ecstore_client_bulk_subops_total"),
+		hFramesPerBulk: reg.Histogram("ecstore_client_frames_per_bulk_op"),
+		hBulkBatchSize: reg.Histogram("ecstore_client_bulk_batch_subops"),
 		cache: nearcache.New(nearcache.Config{
 			MaxBytes: cfg.CacheBytes,
 			MaxAge:   cfg.CacheMaxAge,

@@ -191,6 +191,12 @@ type Config struct {
 	// timeout / health-transition counters. A fresh registry is
 	// created if nil; expose it with Client.Metrics.
 	Metrics *metrics.Registry
+	// DisableBulkBatch turns off the batched bulk wire path: MGet/MSet/
+	// MDelete fall back to issuing one frame per key, exactly as the
+	// single-op APIs do. The batched path is semantically identical —
+	// this switch exists for benchmark baselines and as an escape hatch
+	// against servers predating OpBatch.
+	DisableBulkBatch bool
 	// Instrument, when non-nil, receives the per-op phase breakdown
 	// (encode / request / wait-response) used by Figure 9. It is fed
 	// from the same instrumentation points as Metrics — a benchmark-

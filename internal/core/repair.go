@@ -110,18 +110,23 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 		}
 		return report, fmt.Errorf("%w: no live replica of %q", ErrUnavailable, key)
 	}
-	for _, addr := range missing {
-		// The rewrite carries the authoritative copy's version so the
-		// reconverged replicas agree on the CAS token too.
-		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
+	// The rewrites carry the authoritative copy's version so the
+	// reconverged replicas agree on the CAS token too. They go out as
+	// one batched round — one frame per distinct holder — through the
+	// same executor the bulk APIs use; a holder still down just stays
+	// unrewritten (partial repair).
+	rewrites := make([]*subOp, len(missing))
+	for i, addr := range missing {
+		rewrites[i] = &subOp{addr: addr, req: wire.BatchReq{
 			Op: wire.OpSet, Key: key, Value: value,
 			Meta: wire.ECMeta{Stripe: version},
-		})
-		resp.Release()
-		if err != nil {
-			continue // replica still down; rewrite what we can
+		}}
+	}
+	r.c.sendBatches(rewrites)
+	for _, op := range rewrites {
+		if op.fail() == nil {
+			report.Rewritten++
 		}
-		report.Rewritten++
 	}
 	return report, nil
 }
@@ -226,7 +231,12 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 			erasure.DefaultPool.Put(chunks[i])
 		}
 	}()
-	for _, i := range missing {
+	// Chunk rewrites go out as one batched round — one frame per chunk
+	// holder — through the bulk executor; a holder still down stays
+	// unrewritten (partial repair). Payloads are pool leases the
+	// executor returns when the round is over.
+	rewrites := make([]*subOp, len(missing))
+	for j, i := range missing {
 		cm := wire.ECMeta{
 			ChunkIndex: uint8(i),
 			K:          uint8(e.k),
@@ -235,18 +245,22 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 			Stripe:     stripe,
 		}
 		fp := e.c.pool.FramePool()
-		resp, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
-			Op:        wire.OpSetChunk,
-			Key:       wire.ChunkKey(key, i),
-			Value:     wire.EncodeChunkPayloadPooled(fp, cm, chunks[i]),
-			ValuePool: fp,
-			Meta:      cm,
-		})
-		resp.Release()
-		if err != nil {
-			continue // holder still down; partial repair
+		rewrites[j] = &subOp{
+			addr:    placement[i],
+			reqPool: fp,
+			req: wire.BatchReq{
+				Op:    wire.OpSetChunk,
+				Key:   wire.ChunkKey(key, i),
+				Value: wire.EncodeChunkPayloadPooled(fp, cm, chunks[i]),
+				Meta:  cm,
+			},
 		}
-		report.Rewritten++
+	}
+	e.c.sendBatches(rewrites)
+	for _, op := range rewrites {
+		if op.fail() == nil {
+			report.Rewritten++
+		}
 	}
 	return report, nil
 }

@@ -126,5 +126,10 @@ func (b *ClusterBackend) Stats() map[string]string {
 	out["nearcache_hits"] = strconv.FormatInt(snap.Counter("ecstore_client_nearcache_hits_total"), 10)
 	out["nearcache_misses"] = strconv.FormatInt(snap.Counter("ecstore_client_nearcache_misses_total"), 10)
 	out["coalesced_reads"] = strconv.FormatInt(snap.Counter("ecstore_client_coalesced_reads_total"), 10)
+	// Bulk batching (DESIGN §12): frames vs sub-operations shows how
+	// much wire traffic the per-server batching is saving — subops per
+	// frame is the average batch size.
+	out["bulk_frames"] = strconv.FormatInt(snap.Counter("ecstore_client_bulk_frames_total"), 10)
+	out["bulk_subops"] = strconv.FormatInt(snap.Counter("ecstore_client_bulk_subops_total"), 10)
 	return out
 }

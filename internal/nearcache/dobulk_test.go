@@ -1,0 +1,330 @@
+package nearcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoBulkLeadsAllWhenIdle(t *testing.T) {
+	var g Group
+	var calls int32
+	var gotLead []string
+	values, errs, joined := g.DoBulk([]string{"b", "a", "c"}, func(lead []string) (map[string]Value, map[string]error) {
+		atomic.AddInt32(&calls, 1)
+		gotLead = append([]string(nil), lead...)
+		return map[string]Value{
+				"a": {Data: []byte("va"), Version: 1},
+				"b": {Data: []byte("vb"), Version: 2},
+			}, map[string]error{
+				"c": errors.New("boom"),
+			}
+	})
+	if calls != 1 {
+		t.Fatalf("fetch ran %d times, want 1", calls)
+	}
+	sort.Strings(gotLead)
+	if fmt.Sprint(gotLead) != "[a b c]" {
+		t.Fatalf("lead = %v, want all three keys", gotLead)
+	}
+	if joined != 0 {
+		t.Fatalf("joined = %d with no concurrent flights", joined)
+	}
+	if len(values) != 2 || !bytes.Equal(values["a"].Data, []byte("va")) || values["b"].Version != 2 {
+		t.Fatalf("values = %v", values)
+	}
+	if len(errs) != 1 || errs["c"] == nil || errs["c"].Error() != "boom" {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestDoBulkDedupesKeys(t *testing.T) {
+	var g Group
+	values, errs, _ := g.DoBulk([]string{"k", "k", "j", "k"}, func(lead []string) (map[string]Value, map[string]error) {
+		if len(lead) != 2 {
+			t.Errorf("lead = %v, want 2 distinct keys", lead)
+		}
+		out := make(map[string]Value, len(lead))
+		for _, key := range lead {
+			out[key] = Value{Data: []byte(key)}
+		}
+		return out, nil
+	})
+	if len(errs) != 0 || len(values) != 2 {
+		t.Fatalf("values=%v errs=%v", values, errs)
+	}
+}
+
+func TestDoBulkOmittedLeadKeyReportsError(t *testing.T) {
+	var g Group
+	values, errs, _ := g.DoBulk([]string{"present", "forgotten"}, func(lead []string) (map[string]Value, map[string]error) {
+		return map[string]Value{"present": {Data: []byte("v")}}, nil
+	})
+	if _, ok := values["present"]; !ok {
+		t.Fatal("covered key missing from values")
+	}
+	if !errors.Is(errs["forgotten"], errNoFlightResult) {
+		t.Fatalf("omitted key reported %v, want errNoFlightResult", errs["forgotten"])
+	}
+}
+
+// TestDoBulkJoinsInFlightDo: keys already being fetched by a Do leader
+// are joined, not re-fetched — and the joined result is this caller's
+// own copy of the bytes.
+func TestDoBulkJoinsInFlightDo(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	leaderDone := make(chan Value, 1)
+	go func() {
+		v, _, _ := g.Do("hot", func() (Value, error) {
+			close(leaderIn)
+			<-release
+			return Value{Data: []byte("shared"), Version: 7}, nil
+		})
+		leaderDone <- v
+	}()
+	<-leaderIn
+
+	var fetchLead []string
+	done := make(chan struct{})
+	var values map[string]Value
+	var errs map[string]error
+	var joined int
+	go func() {
+		defer close(done)
+		values, errs, joined = g.DoBulk([]string{"hot", "cold"}, func(lead []string) (map[string]Value, map[string]error) {
+			fetchLead = append([]string(nil), lead...)
+			// Registration (including the join on "hot") happened before
+			// this fetch ran, so the leader may finish now.
+			close(release)
+			return map[string]Value{"cold": {Data: []byte("mine")}}, nil
+		})
+	}()
+	// The bulk call parks on "hot" until the leader finishes.
+	<-done
+
+	if fmt.Sprint(fetchLead) != "[cold]" {
+		t.Fatalf("bulk fetch led %v, want only the un-flighted key", fetchLead)
+	}
+	if joined != 1 {
+		t.Fatalf("joined = %d, want 1", joined)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if !bytes.Equal(values["hot"].Data, []byte("shared")) || values["hot"].Version != 7 {
+		t.Fatalf(`values["hot"] = %v`, values["hot"])
+	}
+	// The joined bytes must be a private copy, not the leader's buffer.
+	leaderV := <-leaderDone
+	leaderV.Data[0] = 'X'
+	if values["hot"].Data[0] == 'X' {
+		t.Fatal("joined waiter shares the leader's buffer")
+	}
+}
+
+// TestDoBulkServesDoWaiters: a Do call that parks on a key DoBulk is
+// leading receives the bulk fetch's result (its own copy), and the
+// bulk caller counts no join for it.
+func TestDoBulkServesDoWaiters(t *testing.T) {
+	var g Group
+	fetchIn := make(chan struct{})
+	release := make(chan struct{})
+	bulkDone := make(chan struct{})
+	go func() {
+		defer close(bulkDone)
+		g.DoBulk([]string{"led"}, func(lead []string) (map[string]Value, map[string]error) {
+			close(fetchIn)
+			<-release
+			return map[string]Value{"led": {Data: []byte("bulk"), Version: 3}}, nil
+		})
+	}()
+	<-fetchIn
+
+	waiterDone := make(chan struct{})
+	var wv Value
+	var wCoalesced bool
+	go func() {
+		defer close(waiterDone)
+		wv, wCoalesced, _ = g.Do("led", func() (Value, error) {
+			t.Error("waiter ran its own fetch instead of joining the bulk flight")
+			return Value{}, nil
+		})
+	}()
+	// Give the waiter time to park on the bulk flight, then release it.
+	waitForWaiter(t, &g, "led", 1)
+	close(release)
+	<-waiterDone
+	<-bulkDone
+
+	if !wCoalesced {
+		t.Fatal("Do call did not coalesce onto the bulk flight")
+	}
+	if !bytes.Equal(wv.Data, []byte("bulk")) || wv.Version != 3 {
+		t.Fatalf("waiter got %v", wv)
+	}
+}
+
+// TestDoBulkErrorSharedWithWaiters: a failed bulk fetch delivers the
+// error (and errNoFlightResult for omitted keys) to parked waiters.
+func TestDoBulkErrorSharedWithWaiters(t *testing.T) {
+	var g Group
+	boom := errors.New("backend down")
+	fetchIn := make(chan struct{})
+	release := make(chan struct{})
+	bulkDone := make(chan map[string]error, 1)
+	go func() {
+		_, errs, _ := g.DoBulk([]string{"bad", "lost"}, func(lead []string) (map[string]Value, map[string]error) {
+			close(fetchIn)
+			<-release
+			return nil, map[string]error{"bad": boom}
+		})
+		bulkDone <- errs
+	}()
+	<-fetchIn
+
+	type res struct {
+		err error
+	}
+	badCh := make(chan res, 1)
+	lostCh := make(chan res, 1)
+	go func() {
+		_, _, err := g.Do("bad", func() (Value, error) { return Value{}, nil })
+		badCh <- res{err}
+	}()
+	go func() {
+		_, _, err := g.Do("lost", func() (Value, error) { return Value{}, nil })
+		lostCh <- res{err}
+	}()
+	waitForWaiter(t, &g, "bad", 1)
+	waitForWaiter(t, &g, "lost", 1)
+	close(release)
+
+	errs := <-bulkDone
+	if !errors.Is(errs["bad"], boom) || !errors.Is(errs["lost"], errNoFlightResult) {
+		t.Fatalf("bulk errs = %v", errs)
+	}
+	if r := <-badCh; !errors.Is(r.err, boom) {
+		t.Fatalf("waiter on failed key got %v", r.err)
+	}
+	if r := <-lostCh; !errors.Is(r.err, errNoFlightResult) {
+		t.Fatalf("waiter on omitted key got %v", r.err)
+	}
+}
+
+// TestDoBulkGenerationGuard: an Invalidate between a flight's creation
+// and a DoBulk call must prevent coalescing — the bulk call leads a
+// fresh fetch so the caller's own completed write is visible.
+func TestDoBulkGenerationGuard(t *testing.T) {
+	var g Group
+	staleIn := make(chan struct{})
+	release := make(chan struct{})
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		g.Do("w", func() (Value, error) {
+			close(staleIn)
+			<-release
+			return Value{Data: []byte("stale")}, nil
+		})
+	}()
+	<-staleIn
+
+	// The local write completed: anything fetched before it is old news.
+	g.Invalidate("w")
+
+	var fetchCalls int32
+	values, errs, joined := g.DoBulk([]string{"w"}, func(lead []string) (map[string]Value, map[string]error) {
+		atomic.AddInt32(&fetchCalls, 1)
+		return map[string]Value{"w": {Data: []byte("fresh")}}, nil
+	})
+	if fetchCalls != 1 {
+		t.Fatalf("post-invalidate DoBulk ran fetch %d times, want a fresh lead", fetchCalls)
+	}
+	if joined != 0 {
+		t.Fatal("DoBulk coalesced onto a flight that predates the invalidation")
+	}
+	if len(errs) != 0 || !bytes.Equal(values["w"].Data, []byte("fresh")) {
+		t.Fatalf("values=%v errs=%v", values, errs)
+	}
+	close(release)
+	<-staleDone
+}
+
+// TestDoBulkConcurrentStorm: many DoBulk callers over an overlapping
+// key space must produce exactly one fetch per (key, storm) — every
+// caller gets every key, and total leads+joins account for every
+// request.
+func TestDoBulkConcurrentStorm(t *testing.T) {
+	var g Group
+	const callers = 16
+	keys := []string{"s0", "s1", "s2", "s3"}
+	var fetches int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	perKeyLeads := make(map[string]int32)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			values, errs, _ := g.DoBulk(keys, func(lead []string) (map[string]Value, map[string]error) {
+				atomic.AddInt32(&fetches, 1)
+				out := make(map[string]Value, len(lead))
+				mu.Lock()
+				for _, key := range lead {
+					perKeyLeads[key]++
+					out[key] = Value{Data: []byte("v-" + key)}
+				}
+				mu.Unlock()
+				return out, nil
+			})
+			if len(errs) != 0 || len(values) != len(keys) {
+				t.Errorf("storm caller: values=%d errs=%v", len(values), errs)
+			}
+			for _, key := range keys {
+				if !bytes.Equal(values[key].Data, []byte("v-"+key)) {
+					t.Errorf("storm caller: %s = %q", key, values[key].Data)
+				}
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	// Coalescing is timing-dependent, but correctness is not: every key
+	// was led at least once and never more than once per caller.
+	for key, n := range perKeyLeads {
+		if n < 1 || n > callers {
+			t.Fatalf("%s led %d times", key, n)
+		}
+	}
+	if fetches > callers {
+		t.Fatalf("%d fetch invocations for %d callers", fetches, callers)
+	}
+}
+
+// waitForWaiter polls until key's in-flight fetch has n parked waiters.
+func waitForWaiter(t *testing.T, g *Group, key string, n int) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		g.mu.Lock()
+		f := g.flights[key]
+		waiters := 0
+		if f != nil {
+			waiters = len(f.waiters)
+		}
+		g.mu.Unlock()
+		if waiters >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("flight %q never accumulated %d waiters", key, n)
+}

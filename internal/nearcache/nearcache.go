@@ -36,6 +36,7 @@ package nearcache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"time"
 
@@ -438,6 +439,120 @@ func (g *Group) Do(key string, fn func() (Value, error)) (v Value, coalesced boo
 		ch <- r
 	}
 	return v, false, err
+}
+
+// errNoFlightResult is delivered to waiters (and reported for led
+// keys) when a DoBulk fetch returns neither a value nor an error for a
+// key it was asked to lead — a fetch-contract violation surfaced as an
+// error rather than a hang or a silent miss.
+var errNoFlightResult = errors.New("nearcache: fetch returned no result for key")
+
+// DoBulk is Do over a key set: each key independently either joins an
+// in-flight fetch of the same generation or is led by this call, and
+// fetch runs ONCE for all led keys together — that is what lets a bulk
+// read stay one frame per server while still coalescing per key with
+// concurrent readers. fetch must cover every lead key in values or
+// errs; a key it omits reports errNoFlightResult.
+//
+// values and errs are keyed like fetch's returns (disjoint; a key
+// appears in exactly one); joined counts the keys satisfied from
+// another caller's fetch. Ownership matches Do: every waiter gets its
+// own copy of the bytes, and results delivered to this caller from
+// another flight are that flight's copies.
+//
+// Deadlock discipline: led keys are fetched and their waiters served
+// BEFORE this call parks on the flights it joined — two DoBulk calls
+// that each join a key the other leads hand off results instead of
+// waiting on each other.
+func (g *Group) DoBulk(keys []string, fetch func(lead []string) (values map[string]Value, errs map[string]error)) (values map[string]Value, errs map[string]error, joined int) {
+	values = make(map[string]Value, len(keys))
+	errs = make(map[string]error)
+
+	type joinedFlight struct {
+		key string
+		ch  chan flightResult
+	}
+	var joins []joinedFlight
+	var lead []string
+	led := make(map[string]*flight)
+	seen := make(map[string]bool, len(keys))
+
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	for _, key := range keys {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cur := g.gens[genSlot(key)]
+		if f, ok := g.flights[key]; ok && f.gen == cur {
+			ch := make(chan flightResult, 1)
+			f.waiters = append(f.waiters, ch)
+			joins = append(joins, joinedFlight{key: key, ch: ch})
+			continue
+		}
+		f := &flight{gen: cur}
+		g.flights[key] = f
+		led[key] = f
+		lead = append(lead, key)
+	}
+	g.mu.Unlock()
+
+	var fetched map[string]Value
+	var fetchErrs map[string]error
+	if len(lead) > 0 {
+		fetched, fetchErrs = fetch(lead)
+	}
+
+	// Unregister led flights (only where the map still points at ours —
+	// a superseded flight must not tear down its replacement), then
+	// deliver to their waiters before parking on our own joins.
+	g.mu.Lock()
+	waitersByKey := make(map[string][]chan flightResult, len(led))
+	for key, f := range led {
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		waitersByKey[key] = f.waiters
+	}
+	g.mu.Unlock()
+	for _, key := range lead {
+		switch {
+		case fetchErrs[key] != nil:
+			errs[key] = fetchErrs[key]
+		default:
+			v, ok := fetched[key]
+			if !ok {
+				errs[key] = errNoFlightResult
+				break
+			}
+			values[key] = v
+		}
+		for _, ch := range waitersByKey[key] {
+			r := flightResult{err: errs[key]}
+			if _, failed := errs[key]; !failed {
+				r.v = Value{
+					Data:    append([]byte(nil), values[key].Data...),
+					Version: values[key].Version,
+					TTL:     values[key].TTL,
+				}
+			}
+			ch <- r
+		}
+	}
+
+	for _, j := range joins {
+		r := <-j.ch
+		joined++
+		if r.err != nil {
+			errs[j.key] = r.err
+		} else {
+			values[j.key] = r.v
+		}
+	}
+	return values, errs, joined
 }
 
 // Invalidate marks any in-flight fetch of key as predating a write:

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"ecstore/internal/wire"
+)
+
+// batchable reports whether op may ride inside an OpBatch frame. Only
+// store-local operations qualify: the coordinated ops (OpEncodeSet /
+// OpDecodeGet) each fan out to peers inside a worker, so batching N of
+// them would serialize N peer round-trip groups on one worker — the
+// client keeps those per-key and pipelined instead. Admin ops
+// (stats/scan/flush) have no bulk caller and carry frame-sized
+// payloads of their own.
+func batchable(op wire.Op) bool {
+	switch op {
+	case wire.OpSet, wire.OpSetChunk, wire.OpGet, wire.OpGetChunk,
+		wire.OpDelete, wire.OpCompareSet, wire.OpPing:
+		return true
+	default:
+		return false
+	}
+}
+
+// handleBatch executes a vector of sub-requests against the store and
+// returns the sub-responses in one frame. Each sub-request goes
+// through s.handle, so per-op counters and error accounting see batched
+// and unbatched traffic identically. Sub-request values alias the
+// pooled batch frame body; that is safe for the same reason the worker
+// releases the request before writing the response — the store copies
+// on Set, and Get returns store-owned copies, so nothing in a
+// sub-response aliases the inbound frame.
+//
+// Failure discipline: a sub-op that fails reports its status in its
+// own slot; the frame-level response is an error only when the batch
+// itself is unusable — undecodable payload, or an aggregate response
+// too large for one frame (the client then splits and re-sends).
+func (s *Server) handleBatch(req *wire.Request) *wire.Response {
+	subs, err := wire.DecodeBatchRequests(req.Value)
+	if err != nil {
+		return errorResponse(err)
+	}
+	resps := make([]wire.BatchResp, len(subs))
+	for i := range subs {
+		sub := &subs[i]
+		if !batchable(sub.Op) {
+			s.mOpErrors.Inc()
+			resps[i] = wire.BatchResp{
+				Status: wire.StatusError,
+				Value:  []byte("op " + sub.Op.String() + " not batchable"),
+			}
+			continue
+		}
+		r := s.handle(&wire.Request{
+			Op:         sub.Op,
+			Key:        sub.Key,
+			Value:      sub.Value,
+			TTLSeconds: sub.TTLSeconds,
+			Compare:    sub.Compare,
+			Meta:       sub.Meta,
+		})
+		resps[i] = wire.BatchResp{
+			Status:     r.Status,
+			Value:      r.Value,
+			TTLSeconds: r.TTLSeconds,
+			Meta:       r.Meta,
+		}
+	}
+	val, err := wire.AppendBatchResponses(nil, resps)
+	if err != nil {
+		// The aggregate response outgrew the frame. The writes (if any)
+		// have landed; the client bisects the batch and re-reads.
+		return errorResponse(err)
+	}
+	return &wire.Response{Status: wire.StatusOK, Value: val}
+}

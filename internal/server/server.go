@@ -193,7 +193,7 @@ func New(cfg Config) (*Server, error) {
 	for _, op := range []wire.Op{
 		wire.OpSet, wire.OpGet, wire.OpDelete, wire.OpSetChunk, wire.OpGetChunk,
 		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing, wire.OpScan,
-		wire.OpCompareSet, wire.OpFlush,
+		wire.OpCompareSet, wire.OpFlush, wire.OpBatch,
 	} {
 		s.mOps[op] = reg.Counter(fmt.Sprintf("ecstore_server_ops_total{op=%q}", op))
 	}
@@ -401,6 +401,8 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		return s.handleEncodeSet(req)
 	case wire.OpDecodeGet:
 		return s.handleDecodeGet(req)
+	case wire.OpBatch:
+		return s.handleBatch(req)
 	case wire.OpStats:
 		// The payload keeps the historical flat store.Stats keys at the
 		// top level (old clients keep decoding) and nests the full

@@ -61,6 +61,11 @@ const (
 	// OpFlush empties the receiving server's store (memcached
 	// flush_all fan-out).
 	OpFlush
+	// OpBatch carries a vector of sub-requests in one frame and
+	// returns a vector of sub-responses in one frame — the bulk
+	// (MGet/MSet/MDelete) wire path. Sub-encodings are defined in
+	// batch.go; nested batches are rejected.
+	OpBatch
 )
 
 // CompareAbsent, as OpCompareSet's Compare value, demands that the key
@@ -81,6 +86,7 @@ var opNames = map[Op]string{
 	OpScan:       "scan",
 	OpCompareSet: "compare-set",
 	OpFlush:      "flush",
+	OpBatch:      "batch",
 }
 
 // String returns the opcode mnemonic.

@@ -1,0 +1,253 @@
+package proxye2e
+
+// Down-server conformance over real TCP: the memcached contract a
+// client sees when cluster servers die. Runs against a DEDICATED
+// cluster (its own kvserver and memproxy processes), because the
+// scenario kills servers for good — the shared TestMain cluster must
+// stay healthy for the rest of the suite.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dedicatedCluster is a private 5-server cluster plus proxy whose
+// members the test may kill at will.
+type dedicatedCluster struct {
+	t         *testing.T
+	addrs     []string
+	proxyAddr string
+	servers   []*exec.Cmd
+}
+
+// kill terminates server i (idempotent).
+func (d *dedicatedCluster) kill(i int) {
+	d.t.Helper()
+	p := d.servers[i]
+	if p != nil && p.Process != nil {
+		_ = p.Process.Kill()
+		_ = p.Wait()
+		d.servers[i] = nil
+	}
+}
+
+func startDedicatedCluster(t *testing.T, mode string) *dedicatedCluster {
+	t.Helper()
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	kvserver := filepath.Join(binDir, "kvserver")
+	memproxy := filepath.Join(binDir, "memproxy")
+	for bin, pkg := range map[string]string{kvserver: "./cmd/kvserver", memproxy: "./cmd/memproxy"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	ports, err := freePorts(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &dedicatedCluster{t: t}
+	for i := 0; i < 5; i++ {
+		d.addrs = append(d.addrs, fmt.Sprintf("127.0.0.1:%d", ports[i]))
+	}
+	peers := strings.Join(d.addrs, ",")
+	d.proxyAddr = fmt.Sprintf("127.0.0.1:%d", ports[5])
+
+	var procs []*exec.Cmd
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+				_ = p.Wait()
+			}
+		}
+	})
+	for _, addr := range d.addrs {
+		cmd := exec.Command(kvserver, "-addr", addr, "-peers", peers)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start kvserver %s: %v", addr, err)
+		}
+		procs = append(procs, cmd)
+		d.servers = append(d.servers, cmd)
+	}
+	for _, addr := range d.addrs {
+		if err := waitReachable(addr, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proxy := exec.Command(memproxy,
+		"-listen", d.proxyAddr,
+		"-servers", peers,
+		"-mode", mode,
+		"-k", "3", "-m", "2",
+	)
+	proxy.Stdout = os.Stderr
+	proxy.Stderr = os.Stderr
+	if err := proxy.Start(); err != nil {
+		t.Fatalf("start memproxy: %v", err)
+	}
+	procs = append(procs, proxy)
+	if err := waitReachable(d.proxyAddr, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func (d *dedicatedCluster) dial() *mcConn {
+	t := d.t
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", d.proxyAddr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial dedicated proxy: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(120 * time.Second))
+	return &mcConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+// mgetReply issues one multi-get and parses the full reply: values by
+// key plus the terminator ("END" or "SERVER_ERROR ...").
+func (c *mcConn) mgetReply(keys ...string) (map[string]string, string) {
+	c.t.Helper()
+	c.send("get %s\r\n", strings.Join(keys, " "))
+	values := make(map[string]string)
+	for {
+		line := c.line()
+		if line == "END" || strings.HasPrefix(line, "SERVER_ERROR") {
+			return values, line
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] != "VALUE" {
+			c.t.Fatalf("unexpected multi-get line %q", line)
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil {
+			c.t.Fatalf("bad length in %q", line)
+		}
+		values[fields[1]] = c.read(n)
+		c.read(2) // trailing \r\n
+	}
+}
+
+// stat fetches one field of the proxy's `stats` reply as an integer.
+func (c *mcConn) stat(field string) int64 {
+	c.t.Helper()
+	c.send("stats\r\n")
+	var val int64
+	seen := false
+	for {
+		line := c.line()
+		if line == "END" {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "STAT" && fields[1] == field {
+			n, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				c.t.Fatalf("stats %s = %q: %v", field, fields[2], err)
+			}
+			val, seen = n, true
+		}
+	}
+	if !seen {
+		c.t.Fatalf("stats reply has no %q field", field)
+	}
+	return val
+}
+
+// TestE2EMultiGetDownServer pins the degraded multi-get contract of
+// DESIGN §12 end to end, in whichever resilience mode the suite runs
+// (PROXYE2E_MODE — both CI modes tolerate two failures):
+//
+//   - the whole batch is batched: one request frame per contacted
+//     backend server, observed through the proxy's bulk_frames stat;
+//   - with one server killed, every stored key still answers VALUE and
+//     absent keys stay silent misses;
+//   - with the whole cluster killed, the reply is SERVER_ERROR — an
+//     unreachable key must never masquerade as a miss.
+func TestE2EMultiGetDownServer(t *testing.T) {
+	mode := os.Getenv("PROXYE2E_MODE")
+	if mode == "" {
+		mode = "era-ce-cd"
+	}
+	d := startDedicatedCluster(t, mode)
+	c := d.dial()
+
+	stored := make(map[string]string, 8)
+	var keys []string
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("down-%d", i)
+		val := fmt.Sprintf("payload-%d", i)
+		c.set(key, val)
+		stored[key] = val
+		keys = append(keys, key)
+	}
+	keys = append(keys, "down-ghost-a", "down-ghost-b")
+
+	// Stored keys decode in the first fetch round, so the whole batch
+	// costs at most one request frame per contacted server. (Absent
+	// keys are excluded here: confirming absence takes a second, parity
+	// round — still batched, but a second frame per parity holder.)
+	framesBefore := c.stat("bulk_frames")
+	values, end := c.mgetReply(keys[:len(stored)]...)
+	if end != "END" {
+		t.Fatalf("healthy multi-get ended %q", end)
+	}
+	if len(values) != len(stored) {
+		t.Fatalf("healthy multi-get returned %d of %d stored keys", len(values), len(stored))
+	}
+	frames := c.stat("bulk_frames") - framesBefore
+	if frames < 1 || frames > int64(len(d.addrs)) {
+		t.Fatalf("8-key multi-get cost %d backend frames, want 1..%d (one per contacted server)", frames, len(d.addrs))
+	}
+	// With the absent keys included the reply is still END + silent
+	// misses — never an error.
+	values, end = c.mgetReply(keys...)
+	if end != "END" || len(values) != len(stored) {
+		t.Fatalf("multi-get with absent keys: end=%q values=%d", end, len(values))
+	}
+
+	// One server down: within both CI modes' tolerance. Stored keys all
+	// answer, ghosts stay silent.
+	d.kill(0)
+	values, end = c.mgetReply(keys...)
+	if end != "END" {
+		t.Fatalf("multi-get with one server killed ended %q", end)
+	}
+	for key, val := range stored {
+		if values[key] != val {
+			t.Fatalf("one server killed: %s = %q, want %q", key, values[key], val)
+		}
+	}
+	for _, ghost := range []string{"down-ghost-a", "down-ghost-b"} {
+		if _, ok := values[ghost]; ok {
+			t.Fatalf("absent key %q materialized under failure", ghost)
+		}
+	}
+
+	// Whole cluster down: stored keys are unreachable, and the proxy
+	// must say so instead of replying with silent misses.
+	for i := 1; i < len(d.servers); i++ {
+		d.kill(i)
+	}
+	_, end = c.mgetReply(keys...)
+	if !strings.HasPrefix(end, "SERVER_ERROR") {
+		t.Fatalf("multi-get with cluster down ended %q, want SERVER_ERROR", end)
+	}
+}
