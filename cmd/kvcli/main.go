@@ -19,6 +19,12 @@
 //	scrub                 run one anti-entropy cycle (scan, verify,
 //	                      repair) and print the report; with
 //	                      -scrub-interval > 0 keep cycling forever
+//	ring status           print each server's membership view (epoch
+//	                      disagreement = propagation lag)
+//	ring add <addr>       publish a view with addr joined, then run the
+//	                      online migration that rebalances data onto it
+//	ring remove <addr>    publish a view with addr removed, migrating
+//	                      its data to the surviving placement first
 //	bench <n> <size>      time n Set+Get round trips of `size` bytes
 //
 // Modes: none, sync-rep, async-rep, era-ce-cd, era-se-sd, era-se-cd,
@@ -36,6 +42,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/metrics"
+	"ecstore/internal/migrate"
 	"ecstore/internal/scrub"
 	"ecstore/internal/stats"
 	"ecstore/internal/transport"
@@ -84,6 +91,8 @@ func run() error {
 	scrubInterval := flag.Duration("scrub-interval", 0, "for the scrub command: keep running cycles at this period (0 = one cycle and exit)")
 	scrubRate := flag.Float64("scrub-rate", 0, "scrub keyspace walk rate in keys/sec (0 = default 1000, negative disables throttling)")
 	scrubConcurrency := flag.Int("scrub-concurrency", 0, "max concurrent scrub repairs (0 = default 4)")
+	migrateRate := flag.Float64("migrate-rate", 0, "ring add/remove migration walk rate in keys/sec (0 = default 500, negative disables throttling)")
+	migrateConcurrency := flag.Int("migrate-concurrency", 0, "max concurrent key migrations (0 = default 4)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -247,6 +256,11 @@ func run() error {
 			}
 			time.Sleep(*scrubInterval)
 		}
+	case "ring":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: ring status | ring add <addr> | ring remove <addr>")
+		}
+		return ringCmd(client, args[1:], *migrateRate, *migrateConcurrency)
 	case "bench":
 		if len(args) != 3 {
 			return fmt.Errorf("usage: bench <n> <size>")
@@ -262,6 +276,66 @@ func run() error {
 		return bench(client, n, size)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// ringCmd is the membership admin surface: status prints each server's
+// view; add/remove publish a new epoch and then run the online
+// migration synchronously, printing its report.
+func ringCmd(client *core.Client, args []string, rate float64, concurrency int) error {
+	switch args[0] {
+	case "status":
+		if _, err := client.RefreshView(); err != nil {
+			fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
+		}
+		cur := client.View()
+		fmt.Printf("%-24s epoch=%d servers=%s (client view)\n", "-", cur.Epoch, strings.Join(cur.Servers, ","))
+		for _, st := range client.RingStatus() {
+			if st.Err != nil {
+				fmt.Printf("%-24s DOWN (%v)\n", st.Addr, st.Err)
+				continue
+			}
+			fmt.Printf("%-24s epoch=%d servers=%s\n", st.Addr, st.View.Epoch, strings.Join(st.View.Servers, ","))
+		}
+		return nil
+	case "add", "remove":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: ring %s <addr>", args[0])
+		}
+		old := client.View()
+		var err error
+		var installed = old
+		if args[0] == "add" {
+			installed, err = client.RingAdd(args[1])
+		} else {
+			installed, err = client.RingRemove(args[1])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("installed epoch %d: %s\n", installed.Epoch, strings.Join(installed.Servers, ","))
+		daemon, err := migrate.New(migrate.Config{
+			Client:        client,
+			Rate:          rate,
+			MaxConcurrent: concurrency,
+			Metrics:       client.Metrics(),
+			Logf:          func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		daemon.Enqueue(old)
+		report := daemon.RunCycle(nil)
+		fmt.Println(report)
+		if report.Err != nil {
+			return report.Err
+		}
+		if report.Failed > 0 {
+			return fmt.Errorf("%d keys failed to migrate (re-run `ring status` and retry)", report.Failed)
+		}
+		return nil
+	default:
+		return fmt.Errorf("usage: ring status | ring add <addr> | ring remove <addr>")
 	}
 }
 

@@ -6,6 +6,12 @@
 // automatically — promptly, because the rpc health tracker's
 // suspect-to-recovered transition kicks a cycle outside the interval.
 //
+// kvscrub also runs the online migration daemon: whenever the cluster
+// membership epoch changes (kvcli ring add/remove), it rebalances the
+// keys whose placement moved between the old and new rings, at its own
+// -migrate-rate budget, so ring changes converge without operator
+// intervention.
+//
 //	kvscrub -servers host1:7001,host2:7001,... -mode era-ce-cd \
 //	        -scrub-interval 5m -scrub-rate 1000
 //
@@ -24,6 +30,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/metrics"
+	"ecstore/internal/migrate"
 	"ecstore/internal/scrub"
 	"ecstore/internal/transport"
 )
@@ -45,6 +52,8 @@ func run() error {
 	scrubInterval := flag.Duration("scrub-interval", scrub.DefaultInterval, "period between scrub cycles")
 	scrubRate := flag.Float64("scrub-rate", 0, "keyspace walk rate in keys/sec (0 = default 1000, negative disables throttling)")
 	scrubConcurrency := flag.Int("scrub-concurrency", 0, "max concurrent repairs (0 = default 4)")
+	migrateRate := flag.Float64("migrate-rate", 0, "epoch-change migration walk rate in keys/sec (0 = default 500, negative disables throttling)")
+	migrateConcurrency := flag.Int("migrate-concurrency", 0, "max concurrent key migrations (0 = default 4)")
 	metricsAddr := flag.String("metrics-addr", "", "serve scrub + client Prometheus metrics at http://<addr>/metrics (empty = disabled)")
 	once := flag.Bool("once", false, "run one cycle, print the report, exit (non-zero if keys failed)")
 	flag.Parse()
@@ -88,6 +97,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	mig, err := migrate.New(migrate.Config{
+		Client:        client,
+		Rate:          *migrateRate,
+		MaxConcurrent: *migrateConcurrency,
+		Metrics:       client.Metrics(),
+		OnCycle:       func(r migrate.Report) { log.Printf("kvscrub migrate: %s", r) },
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	mig.Attach(client)
 
 	if *once {
 		report := daemon.RunCycle(nil)
@@ -103,6 +124,8 @@ func run() error {
 
 	daemon.Start()
 	defer daemon.Stop()
+	mig.Start()
+	defer mig.Stop()
 	log.Printf("kvscrub: scrubbing %d servers every %v (%s)", len(strings.Split(*servers, ",")), *scrubInterval, *mode)
 
 	sig := make(chan os.Signal, 1)

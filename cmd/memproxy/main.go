@@ -21,6 +21,7 @@ import (
 	"ecstore/internal/core"
 	"ecstore/internal/memproto"
 	"ecstore/internal/metrics"
+	"ecstore/internal/migrate"
 	"ecstore/internal/scrub"
 	"ecstore/internal/transport"
 )
@@ -50,6 +51,9 @@ func run() error {
 	scrubInterval := flag.Duration("scrub-interval", 0, "run the anti-entropy scrubber at this period (0 = disabled)")
 	scrubRate := flag.Float64("scrub-rate", 0, "scrub keyspace walk rate in keys/sec (0 = default 1000, negative disables throttling)")
 	scrubConcurrency := flag.Int("scrub-concurrency", 0, "max concurrent scrub repairs (0 = default 4)")
+	migrateOn := flag.Bool("migrate", false, "run the online migration daemon: rebalance data automatically on membership epoch changes")
+	migrateRate := flag.Float64("migrate-rate", 0, "migration walk rate in keys/sec (0 = default 500, negative disables throttling)")
+	migrateConcurrency := flag.Int("migrate-concurrency", 0, "max concurrent key migrations (0 = default 4)")
 	flag.Parse()
 
 	resilience, scheme, err := parseMode(*mode)
@@ -108,6 +112,23 @@ func run() error {
 		daemon.Start()
 		defer daemon.Stop()
 		log.Printf("memproxy: anti-entropy scrubber every %v (rate %v keys/s)", *scrubInterval, *scrubRate)
+	}
+
+	if *migrateOn {
+		mig, err := migrate.New(migrate.Config{
+			Client:        client,
+			Rate:          *migrateRate,
+			MaxConcurrent: *migrateConcurrency,
+			Metrics:       client.Metrics(),
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		mig.Attach(client)
+		mig.Start()
+		defer mig.Stop()
+		log.Printf("memproxy: online migration daemon armed (rate %v keys/s)", *migrateRate)
 	}
 
 	ln, err := transport.TCP{}.Listen(*listen)

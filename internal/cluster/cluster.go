@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"ecstore/internal/membership"
 	"ecstore/internal/server"
 	"ecstore/internal/store"
 	"ecstore/internal/transport"
@@ -43,6 +44,7 @@ type Cluster struct {
 	network transport.Network
 	addrs   []string
 	servers []*server.Server // nil entries are killed servers
+	removed []bool           // tombstones: decommissioned, not restartable
 }
 
 // Start launches the cluster.
@@ -70,6 +72,7 @@ func Start(cfg Config) (*Cluster, error) {
 		network: network,
 		addrs:   addrs,
 		servers: make([]*server.Server, len(addrs)),
+		removed: make([]bool, len(addrs)),
 	}
 	for i := range addrs {
 		if err := c.start(i); err != nil {
@@ -126,12 +129,65 @@ func (c *Cluster) Kill(i int) {
 	}
 }
 
-// Restart brings a killed server back (with an empty store).
+// Restart brings a killed server back (with an empty store). The
+// restarted server seeds its membership view from its static peer list
+// (epoch 1); use RestartWithView to bring it straight into a newer
+// epoch, or let client read-repair catch it up.
 func (c *Cluster) Restart(i int) error {
+	if c.removed[i] {
+		return fmt.Errorf("cluster: server %d was removed from the cluster", i)
+	}
 	if c.servers[i] != nil {
 		return fmt.Errorf("cluster: server %d is already running", i)
 	}
 	return c.start(i)
+}
+
+// RestartWithView restarts server i and installs v as its membership
+// view — the rolling-restart path: the server rejoins already speaking
+// the cluster's current epoch instead of rejecting traffic until a
+// client read-repairs it.
+func (c *Cluster) RestartWithView(i int, v membership.View) error {
+	if err := c.Restart(i); err != nil {
+		return err
+	}
+	c.servers[i].AdoptView(v)
+	return nil
+}
+
+// AddServer starts a new, empty server on addr and returns its index.
+// The server joins the transport immediately but NOT the membership
+// ring: it seeds a private epoch-1 view and no existing member routes
+// to it until an admin pushes a view that includes it (core.Client
+// RingAdd) — the join is invisible to traffic until the epoch bump.
+func (c *Cluster) AddServer(addr string) (int, error) {
+	if addr == "" {
+		return 0, fmt.Errorf("cluster: AddServer needs an address")
+	}
+	for _, a := range c.addrs {
+		if a == addr {
+			return 0, fmt.Errorf("cluster: address %s is already in the cluster", addr)
+		}
+	}
+	c.addrs = append(c.addrs, addr)
+	c.servers = append(c.servers, nil)
+	c.removed = append(c.removed, false)
+	i := len(c.addrs) - 1
+	if err := c.start(i); err != nil {
+		c.removed[i] = true
+		return 0, err
+	}
+	return i, nil
+}
+
+// RemoveServer decommissions server i: it is stopped and tombstoned so
+// Restart refuses to bring it back. Like AddServer, this only touches
+// the process — draining its data and publishing the shrunken ring is
+// the admin flow's job (core.Client RingRemove + migration), normally
+// BEFORE the process goes away.
+func (c *Cluster) RemoveServer(i int) {
+	c.Kill(i)
+	c.removed[i] = true
 }
 
 // Alive returns the number of running servers.

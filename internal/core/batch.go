@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,14 @@ import (
 type subOp struct {
 	addr string
 	req  wire.BatchReq
+
+	// epoch is the membership epoch the sub-op's placement was resolved
+	// at; it rides on the carrying frame (OpBatch or plain) so a server
+	// whose ring differs rejects the whole frame with WrongEpoch. All
+	// sub-ops of one strategy round come from ONE view snapshot, so the
+	// sub-ops sharing a frame always agree. Zero means epoch-unaware
+	// (the rpc pool then stamps the current epoch at send time).
+	epoch uint64
 
 	// reqPool, when non-nil, marks req.Value as leased from that pool.
 	// The executor releases it only after the whole round completes —
@@ -218,6 +227,7 @@ func (c *Client) issueBatchFrame(addr string, group []*subOp) (*rpc.Call, bool) 
 		Key:       "batch",
 		Value:     payload,
 		ValuePool: fp,
+		Epoch:     group[0].epoch,
 	})
 	if err != nil {
 		for _, op := range group {
@@ -249,6 +259,16 @@ func (c *Client) waitBatchFrame(addr string, group []*subOp, call *rpc.Call) int
 	}
 	if respErr := resp.Err(); respErr != nil {
 		resp.Release()
+		if errors.Is(respErr, wire.ErrWrongEpoch) {
+			// A membership rejection applies to every sub-op of the frame
+			// — they share one placement snapshot — so report it directly;
+			// bisecting into smaller frames would only repeat the same
+			// rejection with the same stale epoch.
+			for _, op := range group {
+				op.resp, op.err = wire.BatchResp{Status: wire.StatusWrongEpoch}, nil
+			}
+			return 0
+		}
 		if len(group) == 1 {
 			var extra int64
 			if pcall, ok := c.issuePlainFrame(addr, group[0]); ok {
@@ -305,6 +325,7 @@ func (c *Client) issuePlainFrame(addr string, op *subOp) (*rpc.Call, bool) {
 		TTLSeconds: op.req.TTLSeconds,
 		Compare:    op.req.Compare,
 		Meta:       op.req.Meta,
+		Epoch:      op.epoch,
 	}
 	if op.reqPool != nil {
 		req.ValuePool = op.reqPool

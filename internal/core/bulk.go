@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecstore/internal/nearcache"
+	"ecstore/internal/wire"
 )
 
 // The bulk APIs (MSet / MGet / MGetItems / MDelete) run through the
@@ -63,6 +64,40 @@ func dedupeKeys(keys []string) []string {
 	return out
 }
 
+// bulkEpochRetry re-runs round for the keys rejected with a
+// membership-epoch error, refreshing the view between attempts — the
+// write-side analogue of bulkRetry's WrongEpoch handling (the bulk
+// reads retry inside the strategies via bulkRetry; the write rounds
+// resolve placement once per call, so the re-resolution has to happen
+// out here). Bounded by epochRetryLimit like the single-op paths.
+func (c *Client) bulkEpochRetry(keys []string, round func(keys []string) map[string]error) map[string]error {
+	errs := round(keys)
+	for attempt := 0; attempt < epochRetryLimit; attempt++ {
+		var stale []string
+		for _, key := range keys {
+			if errors.Is(errs[key], wire.ErrWrongEpoch) {
+				stale = append(stale, key)
+			}
+		}
+		if len(stale) == 0 {
+			return errs
+		}
+		sort.Strings(stale)
+		c.mEpochRetries.Inc()
+		_, _ = c.RefreshView()
+		redo := round(stale)
+		for _, key := range stale {
+			if err, ok := redo[key]; ok {
+				errs[key] = err
+			} else {
+				delete(errs, key)
+			}
+		}
+		keys = stale
+	}
+	return errs
+}
+
 // MSet stores every pair through the batched bulk path — chunked and
 // grouped so each target server receives one frame per round. All
 // writes are attempted; the error identifies the FIRST failed key in
@@ -87,12 +122,14 @@ func (c *Client) MSet(pairs map[string][]byte) error {
 	defer c.exitBulk()
 	om := c.ops["mset"]
 	start := time.Now()
-	writes := make([]bulkWrite, len(keys))
-	for i, key := range keys {
-		writes[i] = bulkWrite{key: key, value: pairs[key]}
-	}
 	b := &batcher{c: c}
-	errs := bs.bulkSet(b, writes)
+	errs := c.bulkEpochRetry(keys, func(keys []string) map[string]error {
+		writes := make([]bulkWrite, len(keys))
+		for i, key := range keys {
+			writes[i] = bulkWrite{key: key, value: pairs[key]}
+		}
+		return bs.bulkSet(b, writes)
+	})
 	for _, key := range keys {
 		c.invalidate(key)
 	}
@@ -285,7 +322,9 @@ func (c *Client) MDelete(keys []string) error {
 	om := c.ops["mdelete"]
 	start := time.Now()
 	b := &batcher{c: c}
-	errs := bs.bulkDel(b, keys)
+	errs := c.bulkEpochRetry(keys, func(keys []string) map[string]error {
+		return bs.bulkDel(b, keys)
+	})
 	for _, key := range keys {
 		c.invalidate(key)
 	}

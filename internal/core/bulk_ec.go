@@ -27,9 +27,10 @@ func (e *ecStrategy) serverDecodeBulkGet(b *batcher, keys []string) (map[string]
 	n := e.k + e.m
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m)}
 	errs := make(map[string]error)
+	ring, epoch := e.c.placementSnapshot()
 	orders := make(map[string][]string, len(keys))
 	for _, key := range keys {
-		placement := e.c.placement(key, n)
+		placement := placementOn(ring, key, n)
 		if placement == nil {
 			errs[key] = ErrUnavailable
 			continue
@@ -39,7 +40,7 @@ func (e *ecStrategy) serverDecodeBulkGet(b *batcher, keys []string) (map[string]
 	// A decode coordinator that times out IS failed over (reads are
 	// idempotent), same as the single-op path. OpDecodeGet is not
 	// batchable — the executor pipelines these as plain frames.
-	ok, werrs := bulkFailoverWalk(b, orders,
+	ok, werrs := bulkFailoverWalk(b, orders, epoch,
 		func(key string) wire.BatchReq {
 			return wire.BatchReq{Op: wire.OpDecodeGet, Key: key, Meta: meta}
 		},
@@ -69,14 +70,18 @@ func (e *ecStrategy) clientDecodeBulkGet(b *batcher, keys []string) (map[string]
 		collector *wire.ChunkCollector
 		// reachable counts locations that answered at all; notFound the
 		// authoritative misses among them. Unreachable and timed-out
-		// locations are in neither.
+		// locations are in neither. wrongEpoch marks a membership
+		// rejection from any holder — the key's verdict is then the epoch
+		// error, never NotFound/Unavailable.
 		reachable, notFound int
+		wrongEpoch          bool
 		ttlByStripe         map[uint64]uint32
 	}
 	states := make(map[string]*kstate, len(keys))
 	live := make([]string, 0, len(keys))
+	ring, epoch := e.c.placementSnapshot()
 	for _, key := range keys {
-		placement := e.c.placement(key, n)
+		placement := placementOn(ring, key, n)
 		if placement == nil {
 			errs[key] = ErrUnavailable
 			continue
@@ -95,7 +100,7 @@ func (e *ecStrategy) clientDecodeBulkGet(b *batcher, keys []string) (map[string]
 		for _, key := range keys {
 			st := states[key]
 			for i := lo; i < hi; i++ {
-				ops = append(ops, &subOp{addr: st.placement[i], req: wire.BatchReq{
+				ops = append(ops, &subOp{addr: st.placement[i], epoch: epoch, req: wire.BatchReq{
 					Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
 				}})
 				opKeys = append(opKeys, key)
@@ -109,8 +114,11 @@ func (e *ecStrategy) clientDecodeBulkGet(b *batcher, keys []string) (map[string]
 			}
 			st.reachable++
 			if op.resp.Status != wire.StatusOK {
-				if op.resp.Status == wire.StatusNotFound {
+				switch op.resp.Status {
+				case wire.StatusNotFound:
 					st.notFound++
+				case wire.StatusWrongEpoch:
+					st.wrongEpoch = true
 				}
 				continue
 			}
@@ -140,6 +148,12 @@ func (e *ecStrategy) clientDecodeBulkGet(b *batcher, keys []string) (map[string]
 
 	for _, key := range live {
 		st := states[key]
+		if st.wrongEpoch {
+			// The placement snapshot was stale; bulkRetry refreshes the
+			// view and re-runs this key's whole fetch.
+			errs[key] = wire.ErrWrongEpoch
+			continue
+		}
 		stripe, totalLen, chunks, ok := st.collector.Best()
 		if !ok {
 			// Not-found only on conclusive evidence, exactly as the
@@ -201,8 +215,9 @@ func (e *ecStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 	}
 	sets := make(map[string]*kset, len(writes))
 	var ops []*subOp
+	ring, epoch := e.c.placementSnapshot()
 	for _, w := range writes {
-		placement := e.c.placement(w.key, n)
+		placement := placementOn(ring, w.key, n)
 		if placement == nil {
 			errs[w.key] = ErrUnavailable
 			continue
@@ -229,6 +244,7 @@ func (e *ecStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 			fp := e.c.pool.FramePool()
 			op := &subOp{
 				addr:    placement[i],
+				epoch:   epoch,
 				reqPool: fp,
 				req: wire.BatchReq{
 					Op:         wire.OpSetChunk,
@@ -266,7 +282,7 @@ func (e *ecStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 		// or shadow an older one.
 		e.c.mUnwinds.Inc()
 		for i := range ks.ops {
-			unwind = append(unwind, &subOp{addr: ks.placement[i], req: wire.BatchReq{
+			unwind = append(unwind, &subOp{addr: ks.placement[i], epoch: epoch, req: wire.BatchReq{
 				Op:   wire.OpDelete,
 				Key:  wire.ChunkKey(key, i),
 				Meta: wire.ECMeta{Stripe: ks.stripe},
@@ -280,10 +296,11 @@ func (e *ecStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 func (e *ecStrategy) serverEncodeBulkSet(b *batcher, writes []bulkWrite) map[string]error {
 	n := e.k + e.m
 	errs := make(map[string]error)
+	ring, epoch := e.c.placementSnapshot()
 	orders := make(map[string][]string, len(writes))
 	byKey := make(map[string]bulkWrite, len(writes))
 	for _, w := range writes {
-		placement := e.c.placement(w.key, n)
+		placement := placementOn(ring, w.key, n)
 		if placement == nil {
 			errs[w.key] = ErrUnavailable
 			continue
@@ -297,7 +314,7 @@ func (e *ecStrategy) serverEncodeBulkSet(b *batcher, writes []bulkWrite) map[str
 	// retry past the stripe-write stage — same rule as the single-op
 	// path. OpEncodeSet is not batchable; these go as pipelined plain
 	// frames.
-	_, werrs := bulkFailoverWalk(b, orders,
+	_, werrs := bulkFailoverWalk(b, orders, epoch,
 		func(key string) wire.BatchReq {
 			w := byKey[key]
 			return wire.BatchReq{
@@ -320,14 +337,15 @@ func (e *ecStrategy) bulkDel(b *batcher, keys []string) map[string]error {
 	errs := make(map[string]error)
 	perKey := make(map[string][]*subOp, len(keys))
 	var ops []*subOp
+	ring, epoch := e.c.placementSnapshot()
 	for _, key := range keys {
-		placement := e.c.placement(key, n)
+		placement := placementOn(ring, key, n)
 		if placement == nil {
 			errs[key] = ErrUnavailable
 			continue
 		}
 		for i := range placement {
-			op := &subOp{addr: placement[i], req: wire.BatchReq{
+			op := &subOp{addr: placement[i], epoch: epoch, req: wire.BatchReq{
 				Op: wire.OpDelete, Key: wire.ChunkKey(key, i),
 			}}
 			ops = append(ops, op)

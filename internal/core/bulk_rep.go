@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -38,7 +39,10 @@ var (
 // with withRetry's backoff discipline. The retried keys share one
 // counted retry and one backoff sleep per round — the bulk analogue of
 // one op retrying — instead of a sleep per key. round must report
-// every key it is given in found or failed.
+// every key it is given in found or failed. A membership-epoch
+// rejection is retriable here too: the view is refreshed first (no
+// backoff — the rejection was instant, not congestion) and the round
+// re-resolves placement from the new snapshot.
 func (c *Client) bulkRetry(keys []string,
 	round func(keys []string) (map[string]Item, map[string]error)) (map[string]Item, map[string]error) {
 	found := make(map[string]Item, len(keys))
@@ -51,10 +55,15 @@ func (c *Client) bulkRetry(keys []string,
 			found[key] = item
 		}
 		var retry []string
+		wrongEpoch := false
 		for key, err := range errs {
-			if attempt < c.cfg.MaxRetries && retriable(err) {
+			switch {
+			case attempt < c.cfg.MaxRetries && errors.Is(err, wire.ErrWrongEpoch):
+				wrongEpoch = true
 				retry = append(retry, key)
-			} else {
+			case attempt < c.cfg.MaxRetries && retriable(err):
+				retry = append(retry, key)
+			default:
 				failed[key] = err
 			}
 		}
@@ -63,8 +72,13 @@ func (c *Client) bulkRetry(keys []string,
 		}
 		sort.Strings(retry)
 		c.mRetries.Inc()
-		c.retrySleep(retryJitter(backoff))
-		backoff = nextBackoff(backoff)
+		if wrongEpoch {
+			c.mEpochRetries.Inc()
+			_, _ = c.RefreshView()
+		} else {
+			c.retrySleep(retryJitter(backoff))
+			backoff = nextBackoff(backoff)
+		}
 		pending = retry
 	}
 }
@@ -78,7 +92,7 @@ func (c *Client) bulkRetry(keys []string,
 // other non-walkable failure is final. A key that exhausts its order
 // reports ErrUnavailable wrapping its last walked-past failure, or
 // ErrNotFound when its order was empty.
-func bulkFailoverWalk(b *batcher, orders map[string][]string,
+func bulkFailoverWalk(b *batcher, orders map[string][]string, epoch uint64,
 	mk func(key string) wire.BatchReq,
 	failover func(op *subOp) bool) (okOps map[string]*subOp, errs map[string]error) {
 	okOps = make(map[string]*subOp, len(orders))
@@ -108,7 +122,7 @@ func bulkFailoverWalk(b *batcher, orders map[string][]string,
 			}
 			addr := order[next[key]]
 			next[key]++
-			ops = append(ops, &subOp{addr: addr, req: mk(key)})
+			ops = append(ops, &subOp{addr: addr, req: mk(key), epoch: epoch})
 			opKeys = append(opKeys, key)
 		}
 		if len(ops) == 0 {
@@ -141,16 +155,19 @@ func bulkFailoverWalk(b *batcher, orders map[string][]string,
 func (r *repStrategy) bulkGet(b *batcher, keys []string) (map[string]Item, map[string]error) {
 	return r.c.bulkRetry(keys, func(keys []string) (map[string]Item, map[string]error) {
 		errs := make(map[string]error)
+		// One view snapshot for the whole round: every key's placement
+		// and every sub-op's epoch agree.
+		ring, epoch := r.c.placementSnapshot()
 		orders := make(map[string][]string, len(keys))
 		for _, key := range keys {
-			placement := r.c.placement(key, r.replicas)
+			placement := placementOn(ring, key, r.replicas)
 			if placement == nil {
 				errs[key] = ErrUnavailable
 				continue
 			}
 			orders[key] = r.c.orderByHealth(distinct(placement))
 		}
-		ok, werrs := bulkFailoverWalk(b, orders,
+		ok, werrs := bulkFailoverWalk(b, orders, epoch,
 			func(key string) wire.BatchReq { return wire.BatchReq{Op: wire.OpGet, Key: key} },
 			func(op *subOp) bool { return op.unavailable() })
 		found := make(map[string]Item, len(ok))
@@ -174,10 +191,11 @@ func (r *repStrategy) bulkGet(b *batcher, keys []string) (map[string]Item, map[s
 // single-op path).
 func (r *repStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 	errs := make(map[string]error)
+	ring, epoch := r.c.placementSnapshot()
 	placements := make(map[string][]string, len(writes))
 	versions := make(map[string]uint64, len(writes))
 	for _, w := range writes {
-		placement := r.c.placement(w.key, r.replicas)
+		placement := placementOn(ring, w.key, r.replicas)
 		if placement == nil {
 			errs[w.key] = ErrUnavailable
 			continue
@@ -188,7 +206,7 @@ func (r *repStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 		versions[w.key] = wire.NewStripeID()
 	}
 	mkOp := func(w bulkWrite, addr string) *subOp {
-		return &subOp{addr: addr, req: wire.BatchReq{
+		return &subOp{addr: addr, epoch: epoch, req: wire.BatchReq{
 			Op: wire.OpSet, Key: w.key, Value: w.value,
 			TTLSeconds: ttlSeconds(w.ttl),
 			Meta:       wire.ECMeta{Stripe: versions[w.key]},
@@ -244,16 +262,17 @@ func (r *repStrategy) bulkSet(b *batcher, writes []bulkWrite) map[string]error {
 // answering not-found is an authoritative miss.
 func (r *repStrategy) bulkDel(b *batcher, keys []string) map[string]error {
 	errs := make(map[string]error)
+	ring, epoch := r.c.placementSnapshot()
 	var ops []*subOp
 	perKey := make(map[string][]*subOp, len(keys))
 	for _, key := range keys {
-		placement := r.c.placement(key, r.replicas)
+		placement := placementOn(ring, key, r.replicas)
 		if placement == nil {
 			errs[key] = ErrUnavailable
 			continue
 		}
 		for _, addr := range placement {
-			op := &subOp{addr: addr, req: wire.BatchReq{Op: wire.OpDelete, Key: key}}
+			op := &subOp{addr: addr, epoch: epoch, req: wire.BatchReq{Op: wire.OpDelete, Key: key}}
 			ops = append(ops, op)
 			perKey[key] = append(perKey[key], op)
 		}
@@ -261,6 +280,7 @@ func (r *repStrategy) bulkDel(b *batcher, keys []string) map[string]error {
 	b.send(ops)
 	for key, kops := range perKey {
 		anyLive, deleted := false, 0
+		wrongEpoch := false
 		for _, op := range kops {
 			if op.err != nil {
 				continue
@@ -271,9 +291,16 @@ func (r *repStrategy) bulkDel(b *batcher, keys []string) map[string]error {
 				deleted++
 			case wire.StatusNotFound:
 				anyLive = true
+			case wire.StatusWrongEpoch:
+				// Placement was computed against the wrong ring; surface
+				// the epoch error instead of misclassifying the replica as
+				// dead (which could misreport NotFound or Unavailable).
+				wrongEpoch = true
 			}
 		}
 		switch {
+		case wrongEpoch:
+			errs[key] = wire.ErrWrongEpoch
 		case !anyLive:
 			errs[key] = ErrUnavailable
 		case deleted == 0:

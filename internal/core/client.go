@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ecstore/internal/hashring"
+	"ecstore/internal/membership"
 	"ecstore/internal/metrics"
 	"ecstore/internal/nearcache"
 	"ecstore/internal/rpc"
@@ -37,7 +38,7 @@ var (
 type Client struct {
 	cfg   Config
 	pool  *rpc.Pool
-	ring  *hashring.Ring
+	view  *membership.Tracker
 	strat strategy
 
 	// window is the ARPE send/receive window: a semaphore bounding
@@ -65,6 +66,7 @@ type Client struct {
 	mScans         *metrics.Counter
 	mScanUnreached *metrics.Counter
 	mCoalesced     *metrics.Counter
+	mEpochRetries  *metrics.Counter
 
 	// Bulk-path metric handles. mBulkFrames / mBulkSubops count wire
 	// frames and sub-operations issued by the batch executor — their
@@ -127,6 +129,7 @@ type strategy interface {
 	get(key string) (Item, error)
 	del(key string) error
 	compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error)
+	compareDelete(key string, expect uint64) error
 }
 
 // New returns a Client for the given configuration.
@@ -145,7 +148,7 @@ func New(cfg Config) (*Client, error) {
 		// client's metrics registry, so rpc call/timeout/health
 		// counters land next to the per-op series.
 		pool:   rpc.NewPool(cfg.Network, rpc.WithCallTimeout(cfg.OpTimeout), rpc.WithMetrics(reg)),
-		ring:   hashring.New(0),
+		view:   membership.NewTracker(membership.NewView(cfg.Servers), 0),
 		window: make(chan struct{}, cfg.Window),
 		ops: map[string]*opMetrics{
 			"set":     newOpMetrics(reg, "set"),
@@ -165,6 +168,7 @@ func New(cfg Config) (*Client, error) {
 		mScans:         reg.Counter("ecstore_client_scans_total"),
 		mScanUnreached: reg.Counter("ecstore_client_scan_servers_unreached_total"),
 		mCoalesced:     reg.Counter("ecstore_client_coalesced_reads_total"),
+		mEpochRetries:  reg.Counter("ecstore_client_epoch_retries_total"),
 		mBulkFrames:    reg.Counter("ecstore_client_bulk_frames_total"),
 		mBulkSubops:    reg.Counter("ecstore_client_bulk_subops_total"),
 		hFramesPerBulk: reg.Histogram("ecstore_client_frames_per_bulk_op"),
@@ -175,9 +179,13 @@ func New(cfg Config) (*Client, error) {
 			Metrics:  reg,
 		}),
 	}
-	for _, s := range cfg.Servers {
-		c.ring.Add(s)
-	}
+	// Safety net for requests that reach the wire without an explicit
+	// epoch (best-effort paths): stamp them with the current view's
+	// epoch at send time. Placement-derived requests are stamped by the
+	// strategies from the SAME snapshot their placement came from,
+	// which this send-time fallback cannot guarantee.
+	c.pool.SetEpochSource(c.view.Epoch)
+	reg.RegisterFunc("ecstore_client_membership_epoch", func() int64 { return int64(c.view.Epoch()) })
 	c.strat, err = c.newStrategy(cfg.Resilience)
 	if err != nil {
 		return nil, err
@@ -276,9 +284,11 @@ func (c *Client) ISet(key string, value []byte) *Future {
 func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
 	f := newFuture()
 	return c.submit(f, c.measured("set", func() (Item, error) {
-		version, err := c.strat.set(key, value, ttl)
-		c.invalidate(key)
-		return Item{Version: version}, err
+		return c.withEpochRetry(func() (Item, error) {
+			version, err := c.strat.set(key, value, ttl)
+			c.invalidate(key)
+			return Item{Version: version}, err
+		})
 	}))
 }
 
@@ -294,10 +304,41 @@ func (c *Client) IGet(key string) *Future {
 func (c *Client) IDelete(key string) *Future {
 	f := newFuture()
 	return c.submit(f, c.measured("delete", func() (Item, error) {
-		err := c.strat.del(key)
-		c.invalidate(key)
-		return Item{}, err
+		return c.withEpochRetry(func() (Item, error) {
+			err := c.strat.del(key)
+			c.invalidate(key)
+			return Item{}, err
+		})
 	}))
+}
+
+// IDeleteCas removes key without blocking, but only while the stored
+// version still equals cas — the atomic conditional delete behind the
+// proxy's `md <key> C<cas>`. A changed version yields ErrCASConflict,
+// an absent key ErrNotFound. cas must be a real token (non-zero): zero
+// is the unconditional-delete sentinel on the wire.
+func (c *Client) IDeleteCas(key string, cas uint64) *Future {
+	f := newFuture()
+	if cas == 0 {
+		f.complete(Item{}, fmt.Errorf("core: delete-cas needs a non-zero cas token"))
+		return f
+	}
+	return c.submit(f, c.measured("delete", func() (Item, error) {
+		return c.withEpochRetry(func() (Item, error) {
+			err := c.strat.compareDelete(key, cas)
+			// Invalidate on every outcome, as ICas: success removed the
+			// item, a conflict proves the cached version stale, and on
+			// failure the state is unknown.
+			c.invalidate(key)
+			return Item{}, err
+		})
+	}))
+}
+
+// DeleteCas is the blocking form of IDeleteCas.
+func (c *Client) DeleteCas(key string, cas uint64) error {
+	_, err := c.IDeleteCas(key, cas).Wait()
+	return err
 }
 
 // ICas conditionally stores value under key without blocking: the
@@ -307,12 +348,14 @@ func (c *Client) IDelete(key string) *Future {
 func (c *Client) ICas(key string, value []byte, ttl time.Duration, cas uint64) *Future {
 	f := newFuture()
 	return c.submit(f, c.measured("cas", func() (Item, error) {
-		version, err := c.strat.compareSet(key, value, ttl, cas)
-		// Invalidate on every outcome: success installed a new
-		// version, a conflict is an EXISTS observation proving the
-		// cached version stale, and on failure the state is unknown.
-		c.invalidate(key)
-		return Item{Version: version}, err
+		return c.withEpochRetry(func() (Item, error) {
+			version, err := c.strat.compareSet(key, value, ttl, cas)
+			// Invalidate on every outcome: success installed a new
+			// version, a conflict is an EXISTS observation proving the
+			// cached version stale, and on failure the state is unknown.
+			c.invalidate(key)
+			return Item{Version: version}, err
+		})
 	}))
 }
 
@@ -368,13 +411,13 @@ func (c *Client) SetVersion(key string, value []byte, ttl time.Duration) (uint64
 	return item.Version, err
 }
 
-// FlushAll clears the item store of every configured server — the
-// memcached `flush_all`. All servers are attempted; the first error is
-// returned.
+// FlushAll clears the item store of every server in the current
+// membership view — the memcached `flush_all`. All servers are
+// attempted; the first error is returned.
 func (c *Client) FlushAll() error {
 	c.cache.InvalidateAll()
 	var firstErr error
-	for _, addr := range c.cfg.Servers {
+	for _, addr := range c.view.Current().Servers {
 		resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpFlush, Key: "flush"})
 		resp.Release()
 		if err != nil && firstErr == nil {
@@ -447,12 +490,32 @@ func ttlSeconds(ttl time.Duration) uint32 {
 	return uint32((ttl + time.Second - 1) / time.Second)
 }
 
-// placement returns the n servers holding key's replicas or chunks:
-// the consistent-hash primary plus the next distinct servers. With a
-// cluster smaller than n, entries wrap (reduced fault tolerance, but
-// functional).
-func (c *Client) placement(key string, n int) []string {
-	servers := c.ring.GetN(key, n)
+// placement returns the n servers holding key's replicas or chunks —
+// the consistent-hash primary plus the next distinct servers (entries
+// wrap on a cluster smaller than n) — together with the membership
+// epoch the resolution was made at. Servers and epoch come from ONE
+// atomic snapshot of the view: every request derived from this
+// placement must be stamped with the returned epoch, so a server whose
+// ring differs rejects it (StatusWrongEpoch) instead of accepting a
+// misplaced write. Stamping a fresher epoch onto a stale placement
+// (or vice versa) is exactly the torn-routing race the snapshot
+// prevents.
+func (c *Client) placement(key string, n int) ([]string, uint64) {
+	ring, epoch := c.placementSnapshot()
+	return placementOn(ring, key, n), epoch
+}
+
+// placementSnapshot returns the current view's ring and epoch as one
+// consistent pair. Bulk strategies take one snapshot per round and
+// resolve every key against it, so all sub-ops of a round agree.
+func (c *Client) placementSnapshot() (*hashring.Ring, uint64) {
+	view, ring := c.view.Snapshot()
+	return ring, view.Epoch
+}
+
+// placementOn resolves key's n holders against a specific ring.
+func placementOn(ring *hashring.Ring, key string, n int) []string {
+	servers := ring.GetN(key, n)
 	if len(servers) == 0 {
 		return nil
 	}

@@ -48,12 +48,12 @@ func (e *ecStrategy) clientDecodes() bool {
 
 func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, error) {
 	n := e.k + e.m
-	placement := e.c.placement(key, n)
+	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
 		return 0, ErrUnavailable
 	}
 	if !e.clientEncodes() {
-		return e.serverEncodeSet(key, value, ttl, placement)
+		return e.serverEncodeSet(key, value, ttl, placement, epoch)
 	}
 
 	// Client-side encode: split, compute parity, distribute all K+M
@@ -93,6 +93,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, e
 			ValuePool:  fp,
 			TTLSeconds: ttlSeconds(ttl),
 			Meta:       cm,
+			Epoch:      epoch,
 		})
 		if err != nil {
 			firstErr = fmt.Errorf("chunk %d to %s: %w", i, addr, err)
@@ -122,7 +123,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, e
 		// calls[i] carries chunk i (the issue loop stops at the first
 		// Send failure), so exactly chunks [0, len(calls)) may have
 		// landed with this stripe ID.
-		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		e.unwindStripe(key, placement, meta.Stripe, len(calls), epoch)
 		return 0, firstErr
 	}
 	return meta.Stripe, nil
@@ -148,7 +149,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, e
 // collateral damage) and ErrCASConflict returned.
 func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error) {
 	n := e.k + e.m
-	placement := e.c.placement(key, n)
+	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
 		return 0, ErrUnavailable
 	}
@@ -182,6 +183,7 @@ func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, exp
 			TTLSeconds: ttlSeconds(ttl),
 			Compare:    expect,
 			Meta:       cm,
+			Epoch:      epoch,
 		})
 		if err != nil {
 			firstErr = fmt.Errorf("chunk %d to %s: %w", i, addr, err)
@@ -215,15 +217,15 @@ func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, exp
 	e.c.instrumentOp()
 	switch {
 	case conflicts > 0:
-		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		e.unwindStripe(key, placement, meta.Stripe, len(calls), epoch)
 		return 0, ErrCASConflict
 	case firstErr != nil:
-		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		e.unwindStripe(key, placement, meta.Stripe, len(calls), epoch)
 		return 0, firstErr
 	case expect != wire.CompareAbsent && priors == 0:
 		// Every holder accepted, but none of them held the old stripe:
 		// the key did not exist, so a strict CAS must not create it.
-		e.unwindStripe(key, placement, meta.Stripe, len(calls))
+		e.unwindStripe(key, placement, meta.Stripe, len(calls), epoch)
 		return 0, ErrNotFound
 	}
 	return meta.Stripe, nil
@@ -234,7 +236,7 @@ func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, exp
 // overwrite is never deleted by mistake. Errors are ignored: a chunk
 // holder that is down keeps its stale chunk, but with fewer than K
 // chunks the dead stripe can never be decoded or shadow an older one.
-func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64, issued int) {
+func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64, issued int, epoch uint64) {
 	e.c.mUnwinds.Inc()
 	// Cleanup runs after the failed write already spent up to one full
 	// deadline waiting; half a deadline here keeps the whole Set within
@@ -244,9 +246,10 @@ func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64,
 	calls := make([]*rpc.Call, 0, issued)
 	for i := 0; i < issued; i++ {
 		call, err := e.c.pool.SendTimeout(placement[i], &wire.Request{
-			Op:   wire.OpDelete,
-			Key:  wire.ChunkKey(key, i),
-			Meta: wire.ECMeta{Stripe: stripe},
+			Op:    wire.OpDelete,
+			Key:   wire.ChunkKey(key, i),
+			Meta:  wire.ECMeta{Stripe: stripe},
+			Epoch: epoch,
 		}, timeout)
 		if err != nil {
 			continue
@@ -262,7 +265,7 @@ func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64,
 // serverEncodeSet sends the whole value to the primary, which encodes
 // and distributes the chunks itself (Era-SE-*). If the primary is
 // down, the next server in the placement takes over as coordinator.
-func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration, placement []string) (uint64, error) {
+func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration, placement []string, epoch uint64) (uint64, error) {
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m), TotalLen: uint32(len(value))}
 	start := time.Now()
 	defer func() {
@@ -279,7 +282,7 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 		}
 		resp, err := e.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpEncodeSet, Key: key, Value: value,
-			TTLSeconds: ttlSeconds(ttl), Meta: meta,
+			TTLSeconds: ttlSeconds(ttl), Meta: meta, Epoch: epoch,
 		})
 		if err == nil {
 			// The coordinator minted the stripe ID; it is this write's
@@ -304,19 +307,21 @@ func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration
 
 func (e *ecStrategy) get(key string) (Item, error) {
 	n := e.k + e.m
-	placement := e.c.placement(key, n)
+	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
 		return Item{}, ErrUnavailable
 	}
 	// Reads are idempotent, so transient failures (timeouts, down
 	// servers) are retried with backoff; authoritative answers are not.
+	// WrongEpoch is not retried here: it propagates to the client's
+	// epoch-retry layer, which re-resolves placement first.
 	var item Item
 	err := e.c.withRetry(func() error {
 		var err error
 		if e.clientDecodes() {
-			item, err = e.clientDecodeGet(key, placement)
+			item, err = e.clientDecodeGet(key, placement, epoch)
 		} else {
-			item, err = e.serverDecodeGet(key, placement)
+			item, err = e.serverDecodeGet(key, placement, epoch)
 		}
 		return err
 	})
@@ -326,14 +331,17 @@ func (e *ecStrategy) get(key string) (Item, error) {
 // clientDecodeGet aggregates chunks (data first, parity on failure)
 // grouped by stripe so concurrent writes never produce a torn value,
 // then reconstructs if needed (Equation 8).
-func (e *ecStrategy) clientDecodeGet(key string, placement []string) (Item, error) {
+func (e *ecStrategy) clientDecodeGet(key string, placement []string, epoch uint64) (Item, error) {
 	n := e.k + e.m
 	start := time.Now()
 	collector := wire.NewChunkCollector(e.k, n)
 	// reachable counts locations that answered at all (chunk, not-found
 	// or another status); notFound counts authoritative misses among
 	// them. Timed-out and unreachable locations are in neither.
+	// wrongEpoch remembers a membership rejection so a non-decodable
+	// outcome surfaces as the retriable epoch error, not unavailability.
 	reachable, notFound := 0, 0
+	var wrongEpoch bool
 	// Remaining TTL as reported by the first holder of each stripe, so
 	// the winning stripe's lifetime rides along with the value.
 	ttlByStripe := make(map[uint64]uint32)
@@ -352,7 +360,7 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) (Item, erro
 		calls := make(map[int]*rpc.Call, hi-lo)
 		for i := lo; i < hi; i++ {
 			call, err := e.c.pool.Send(placement[i], &wire.Request{
-				Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+				Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i), Epoch: epoch,
 			})
 			if err != nil {
 				continue // server down; parity will cover it
@@ -368,6 +376,9 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) (Item, erro
 			if respErr := resp.Err(); respErr != nil {
 				if errors.Is(respErr, wire.ErrNotFound) {
 					notFound++
+				}
+				if errors.Is(respErr, wire.ErrWrongEpoch) {
+					wrongEpoch = true
 				}
 				resp.Release()
 				continue
@@ -394,6 +405,12 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) (Item, erro
 	stripe, totalLen, chunks, ok := collector.Best()
 	if !ok {
 		e.c.instrumentOp()
+		// A membership rejection anywhere means this placement was
+		// computed against the wrong ring: let the epoch-retry layer
+		// refresh and re-resolve instead of misreporting availability.
+		if wrongEpoch {
+			return Item{}, wire.ErrWrongEpoch
+		}
 		// Not-found only on conclusive evidence: every reachable chunk
 		// location answered an authoritative miss, and the unreachable
 		// ones could not hold K chunks between them — so the key
@@ -437,7 +454,7 @@ func (e *ecStrategy) clientDecodeGet(key string, placement []string) (Item, erro
 
 // serverDecodeGet asks the primary to aggregate and decode
 // (Era-*-SD), falling over to the next placement server if it is down.
-func (e *ecStrategy) serverDecodeGet(key string, placement []string) (Item, error) {
+func (e *ecStrategy) serverDecodeGet(key string, placement []string, epoch uint64) (Item, error) {
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m)}
 	start := time.Now()
 	defer func() {
@@ -453,7 +470,7 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) (Item, erro
 			e.c.mFailovers.Inc()
 		}
 		resp, err := e.c.pool.Roundtrip(addr, &wire.Request{
-			Op: wire.OpDecodeGet, Key: key, Meta: meta,
+			Op: wire.OpDecodeGet, Key: key, Meta: meta, Epoch: epoch,
 		})
 		switch {
 		case err == nil:
@@ -483,7 +500,7 @@ func (e *ecStrategy) serverDecodeGet(key string, placement []string) (Item, erro
 
 func (e *ecStrategy) del(key string) error {
 	n := e.k + e.m
-	placement := e.c.placement(key, n)
+	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
 		return ErrUnavailable
 	}
@@ -494,7 +511,7 @@ func (e *ecStrategy) del(key string) error {
 	var failErr error
 	for i, addr := range placement {
 		call, err := e.c.pool.Send(addr, &wire.Request{
-			Op: wire.OpDelete, Key: wire.ChunkKey(key, i),
+			Op: wire.OpDelete, Key: wire.ChunkKey(key, i), Epoch: epoch,
 		})
 		if err != nil {
 			failed++
@@ -545,6 +562,79 @@ func (e *ecStrategy) del(key string) error {
 	default:
 		return nil
 	}
+}
+
+// compareDelete for erasure coding: the stripe ID doubles as the
+// version and every chunk store entry carries it, so the decision is a
+// per-chunk conditional delete against the expected stripe, walked in
+// FIXED placement order. A holder that answers NotFound merely evicted
+// (or crashed and restarted without) its chunk — the stripe as a whole
+// may still be readable, so the walk continues to the next holder,
+// succeeding exactly when a plain Get would still have decoded the old
+// value. A holder answering Exists is a lost race; nothing was
+// removed, so ErrCASConflict is safe to report. Once one holder
+// decides, the remaining chunks are removed with STRIPE-conditional
+// deletes (Meta.Stripe = expect) so a concurrent newer write's chunks
+// are never collateral damage.
+func (e *ecStrategy) compareDelete(key string, expect uint64) error {
+	n := e.k + e.m
+	placement, epoch := e.c.placement(key, n)
+	if placement == nil {
+		return ErrUnavailable
+	}
+	start := time.Now()
+	defer func() {
+		e.c.instrument("delete", phaseWait, time.Since(start))
+		e.c.instrumentOp()
+	}()
+	decided := -1
+	failed := 0
+	var lastErr error
+walk:
+	for i := 0; i < n; i++ {
+		resp, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
+			Op: wire.OpDelete, Key: wire.ChunkKey(key, i), Compare: expect, Epoch: epoch,
+		})
+		resp.Release()
+		switch {
+		case err == nil:
+			decided = i
+			break walk
+		case errors.Is(err, wire.ErrExists):
+			return ErrCASConflict
+		case errors.Is(err, wire.ErrNotFound):
+			continue
+		case errors.Is(err, wire.ErrWrongEpoch):
+			return err
+		default:
+			failed++
+			lastErr = err
+		}
+	}
+	if decided < 0 {
+		if failed >= e.k {
+			// Enough holders unreached to hold a decodable stripe between
+			// them: absence is not provable.
+			return fmt.Errorf("%w: delete %q: %v", ErrUnavailable, key, lastErr)
+		}
+		return ErrNotFound
+	}
+	// Decided: converge the remaining holders with stripe-conditional
+	// deletes. Best-effort — a down holder keeps an orphan chunk, but a
+	// sub-K remnant can never decode, and the scrubber purges it.
+	for i := 0; i < n; i++ {
+		if i == decided {
+			continue
+		}
+		resp, _ := e.c.pool.Roundtrip(placement[i], &wire.Request{
+			Op:    wire.OpDelete,
+			Key:   wire.ChunkKey(key, i),
+			Meta:  wire.ECMeta{Stripe: expect},
+			Epoch: epoch,
+		})
+		resp.Release()
+	}
+	return nil
 }
 
 // hybridStrategy is the paper's future-work policy: replicate small
@@ -659,6 +749,28 @@ func (h *hybridStrategy) del(key string) error {
 		return ErrNotFound
 	}
 	return nil
+}
+
+// compareDelete for the hybrid policy: the live representation is
+// unknown at delete time, so probe in the read path's order — the
+// replicated form decides when it holds the key; an authoritative
+// rep-side miss falls through to the erasure-coded conditional delete.
+// After a rep-side decision the EC form is purged best-effort, exactly
+// as a hybrid set purges the other representation. Any other rep-side
+// outcome (conflict, unavailability) is final: guessing against an
+// unreachable form could delete a value whose version no longer
+// matches.
+func (h *hybridStrategy) compareDelete(key string, expect uint64) error {
+	repErr := h.rep.compareDelete(key, expect)
+	switch {
+	case repErr == nil:
+		_ = h.ec.del(key)
+		return nil
+	case errors.Is(repErr, ErrNotFound):
+		return h.ec.compareDelete(key, expect)
+	default:
+		return repErr
+	}
 }
 
 // distinct returns addrs with duplicates (from wrapped placements on

@@ -1,0 +1,263 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ecstore/internal/core"
+	"ecstore/internal/hashring"
+)
+
+// migrationModes are the resilience configurations whose placement
+// actually moves data (mode none keeps a single copy and is covered by
+// the rep path).
+func migrationModes() map[string]core.Config {
+	return map[string]core.Config{
+		"sync-rep":  {Resilience: core.ResilienceSyncRep, Replicas: 3},
+		"era-ce-cd": {Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2},
+		"hybrid":    {Resilience: core.ResilienceHybrid, Replicas: 3, K: 3, M: 2},
+	}
+}
+
+// migrateAll runs MigrateKey for every key against oldRing and returns
+// the aggregate report.
+func migrateAll(t *testing.T, c *core.Client, keys []string, oldRing *hashring.Ring) core.MigrateReport {
+	t.Helper()
+	var agg core.MigrateReport
+	for _, key := range keys {
+		rep, err := c.MigrateKey(key, oldRing)
+		if err != nil {
+			t.Fatalf("migrate %q: %v", key, err)
+		}
+		if rep.Moved {
+			agg.Moved = true
+		}
+		agg.Refilled += rep.Refilled
+		agg.Dropped += rep.Dropped
+		agg.BytesMoved += rep.BytesMoved
+	}
+	return agg
+}
+
+func TestMigrateKeyAfterRingAdd(t *testing.T) {
+	for name, cfg := range migrationModes() {
+		t.Run(name, func(t *testing.T) {
+			cl := startCluster(t, 5)
+			c := newClient(t, cl, cfg)
+
+			values := map[string][]byte{}
+			var keys []string
+			for i := 0; i < 30; i++ {
+				key := fmt.Sprintf("%s-mig-%03d", name, i)
+				value := bytes.Repeat([]byte{byte('a' + i%26)}, 2000+i)
+				if err := c.Set(key, value); err != nil {
+					t.Fatal(err)
+				}
+				values[key] = value
+				keys = append(keys, key)
+			}
+
+			old := c.View()
+			oldRing := hashring.Build(0, old.Servers)
+			if _, err := cl.AddServer("kv-joiner"); err != nil {
+				t.Fatal(err)
+			}
+			installed, err := c.RingAdd("kv-joiner")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if installed.Epoch != old.Epoch+1 || !installed.Contains("kv-joiner") {
+				t.Fatalf("installed view = %v", installed)
+			}
+
+			agg := migrateAll(t, c, keys, oldRing)
+			if agg.Refilled == 0 {
+				t.Fatal("no chunk was refilled onto the joined server")
+			}
+
+			// Everything must read back intact through the new ring.
+			for key, want := range values {
+				got, err := c.Get(key)
+				if err != nil {
+					t.Fatalf("get %q after migration: %v", key, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("get %q: value corrupted by migration", key)
+				}
+			}
+
+			// A second pass is a no-op: migration converged.
+			again := migrateAll(t, c, keys, oldRing)
+			if again.Moved || again.Refilled != 0 || again.Dropped != 0 {
+				t.Fatalf("second migration pass still moved data: %+v", again)
+			}
+
+			// Every stripe is fully present at its NEW placement: no key
+			// depends on chunks the old ring left behind.
+			for _, key := range keys {
+				report, err := c.Repair(key)
+				if err != nil {
+					t.Fatalf("repair %q: %v", key, err)
+				}
+				if !report.Healthy() {
+					t.Fatalf("stripe %q degraded at new placement: %+v", key, report)
+				}
+			}
+		})
+	}
+}
+
+func TestMigrateKeyAfterRingRemove(t *testing.T) {
+	for name, cfg := range migrationModes() {
+		t.Run(name, func(t *testing.T) {
+			cl := startCluster(t, 6)
+			c := newClient(t, cl, cfg)
+
+			values := map[string][]byte{}
+			var keys []string
+			for i := 0; i < 30; i++ {
+				key := fmt.Sprintf("%s-rm-%03d", name, i)
+				value := bytes.Repeat([]byte{byte('A' + i%26)}, 1500+i)
+				if err := c.Set(key, value); err != nil {
+					t.Fatal(err)
+				}
+				values[key] = value
+				keys = append(keys, key)
+			}
+
+			// Decommission flow: publish the shrunken ring FIRST, migrate
+			// the departing server's data to the survivors, and only then
+			// stop the process.
+			old := c.View()
+			oldRing := hashring.Build(0, old.Servers)
+			victim := cl.Addrs()[2]
+			if _, err := c.RingRemove(victim); err != nil {
+				t.Fatal(err)
+			}
+			migrateAll(t, c, keys, oldRing)
+			cl.RemoveServer(2)
+
+			for key, want := range values {
+				got, err := c.Get(key)
+				if err != nil {
+					t.Fatalf("get %q after decommission: %v", key, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("get %q: value corrupted", key)
+				}
+			}
+			for _, key := range keys {
+				report, err := c.Repair(key)
+				if err != nil {
+					t.Fatalf("repair %q: %v", key, err)
+				}
+				if !report.Healthy() {
+					t.Fatalf("stripe %q degraded after decommission: %+v", key, report)
+				}
+			}
+		})
+	}
+}
+
+// TestWrongEpochRetryIsTransparent: a client left on a stale epoch
+// keeps working — the server rejects with WrongEpoch, the client
+// adopts the carried view and retries, all inside one Get/Set call.
+func TestWrongEpochRetryIsTransparent(t *testing.T) {
+	cl := startCluster(t, 5)
+	admin := newClient(t, cl, core.Config{Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2})
+	stale := newClient(t, cl, core.Config{Resilience: core.ResilienceErasure, Scheme: core.SchemeCECD, K: 3, M: 2})
+
+	if err := stale.Set("k", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The admin bumps the epoch behind the stale client's back.
+	if _, err := cl.AddServer("kv-joiner"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.RingAdd("kv-joiner"); err != nil {
+		t.Fatal(err)
+	}
+	if stale.View().Epoch != 1 {
+		t.Fatalf("stale client already at epoch %d", stale.View().Epoch)
+	}
+
+	// Both a read and a write from the stale epoch succeed in one call.
+	if got, err := stale.Get("k"); err != nil || string(got) != "before" {
+		t.Fatalf("stale get: %q, %v", got, err)
+	}
+	if err := stale.Set("k2", []byte("after")); err != nil {
+		t.Fatalf("stale set: %v", err)
+	}
+	if stale.View().Epoch != 2 {
+		t.Fatalf("client did not adopt the pushed-back epoch: %d", stale.View().Epoch)
+	}
+	snap := stale.Metrics().Snapshot()
+	if snap.Counters["ecstore_client_epoch_retries_total"] == 0 {
+		t.Fatal("epoch retry counter never incremented")
+	}
+
+	// And the written value is visible to the up-to-date client.
+	if got, err := admin.Get("k2"); err != nil || string(got) != "after" {
+		t.Fatalf("admin read of post-retry write: %q, %v", got, err)
+	}
+}
+
+// TestWrongEpochRetryCoversRepairVerify: the admin surfaces get the
+// same transparent adopt-and-retry as the data path — a scrub sidecar
+// or kvcli left on a stale epoch must verify and heal keys, not bail
+// with an epoch mismatch (found driving `kvcli verify` against a
+// cluster whose epoch had advanced twice since the client started).
+func TestWrongEpochRetryCoversRepairVerify(t *testing.T) {
+	for name, cfg := range migrationModes() {
+		t.Run(name, func(t *testing.T) {
+			cl := startCluster(t, 5)
+			admin := newClient(t, cl, cfg)
+			staleVerify := newClient(t, cl, cfg)
+			staleRepair := newClient(t, cl, cfg)
+
+			key := name + "-epoch-admin"
+			if err := admin.Set(key, []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+
+			old := admin.View()
+			oldRing := hashring.Build(0, old.Servers)
+			if _, err := cl.AddServer("kv-joiner"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := admin.RingAdd("kv-joiner"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := admin.MigrateKey(key, oldRing); err != nil {
+				t.Fatal(err)
+			}
+
+			if staleVerify.View().Epoch != old.Epoch {
+				t.Fatalf("verify client already at epoch %d", staleVerify.View().Epoch)
+			}
+			ok, err := staleVerify.Verify(key)
+			if err != nil || !ok {
+				t.Fatalf("verify from stale epoch: ok=%v err=%v", ok, err)
+			}
+			if staleVerify.View().Epoch != old.Epoch+1 {
+				t.Fatalf("verify client did not adopt the new epoch: %d", staleVerify.View().Epoch)
+			}
+
+			if staleRepair.View().Epoch != old.Epoch {
+				t.Fatalf("repair client already at epoch %d", staleRepair.View().Epoch)
+			}
+			report, err := staleRepair.Repair(key)
+			if err != nil {
+				t.Fatalf("repair from stale epoch: %v", err)
+			}
+			if !report.Healthy() {
+				t.Fatalf("repair from stale epoch found degraded stripe: %+v", report)
+			}
+			if staleRepair.View().Epoch != old.Epoch+1 {
+				t.Fatalf("repair client did not adopt the new epoch: %d", staleRepair.View().Epoch)
+			}
+		})
+	}
+}

@@ -29,7 +29,12 @@ func (c *Client) readThrough(key string) (Item, error) {
 	}
 	gen := c.cache.Begin(key)
 	v, coalesced, err := c.flight.Do(key, func() (nearcache.Value, error) {
-		item, err := c.strat.get(key)
+		// The epoch retry lives INSIDE the flight leader: placement is
+		// re-resolved against the refreshed view, and every coalesced
+		// waiter shares the one corrected fetch.
+		item, err := c.withEpochRetry(func() (Item, error) {
+			return c.strat.get(key)
+		})
 		if err != nil {
 			return nearcache.Value{}, err
 		}

@@ -22,7 +22,7 @@ var _ strategy = (*repStrategy)(nil)
 
 func (r *repStrategy) set(key string, value []byte, ttl time.Duration) (uint64, error) {
 	ttlSecs := ttlSeconds(ttl)
-	placement := r.c.placement(key, r.replicas)
+	placement, epoch := r.c.placement(key, r.replicas)
 	if placement == nil {
 		return 0, ErrUnavailable
 	}
@@ -37,7 +37,7 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) (uint64, 
 			start := time.Now()
 			resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
 				Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
-				Meta: wire.ECMeta{Stripe: version},
+				Meta: wire.ECMeta{Stripe: version}, Epoch: epoch,
 			})
 			resp.Release()
 			if err != nil {
@@ -62,7 +62,7 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) (uint64, 
 	for _, addr := range placement {
 		call, err := r.c.pool.Send(addr, &wire.Request{
 			Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
-			Meta: wire.ECMeta{Stripe: version},
+			Meta: wire.ECMeta{Stripe: version}, Epoch: epoch,
 		})
 		if err != nil {
 			firstErr = err
@@ -102,7 +102,8 @@ func (r *repStrategy) set(key string, value []byte, ttl time.Duration) (uint64, 
 // then a failover read may observe the previous version — the same
 // read-your-writes window async replication already has.
 func (r *repStrategy) compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error) {
-	placement := distinct(r.c.placement(key, r.replicas))
+	placement, epoch := r.c.placement(key, r.replicas)
+	placement = distinct(placement)
 	if placement == nil {
 		return 0, ErrUnavailable
 	}
@@ -118,7 +119,7 @@ func (r *repStrategy) compareSet(key string, value []byte, ttl time.Duration, ex
 		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
 			Op: wire.OpCompareSet, Key: key, Value: value,
 			TTLSeconds: ttlSecs, Compare: expect,
-			Meta: wire.ECMeta{Stripe: version},
+			Meta: wire.ECMeta{Stripe: version}, Epoch: epoch,
 		})
 		resp.Release()
 		switch {
@@ -131,7 +132,7 @@ func (r *repStrategy) compareSet(key string, value []byte, ttl time.Duration, ex
 				}
 				fresp, _ := r.c.pool.Roundtrip(other, &wire.Request{
 					Op: wire.OpSet, Key: key, Value: value, TTLSeconds: ttlSecs,
-					Meta: wire.ECMeta{Stripe: version},
+					Meta: wire.ECMeta{Stripe: version}, Epoch: epoch,
 				})
 				fresp.Release()
 			}
@@ -151,22 +152,24 @@ func (r *repStrategy) compareSet(key string, value []byte, ttl time.Duration, ex
 }
 
 func (r *repStrategy) get(key string) (Item, error) {
-	placement := r.c.placement(key, r.replicas)
+	placement, epoch := r.c.placement(key, r.replicas)
 	if placement == nil {
 		return Item{}, ErrUnavailable
 	}
 	// Reads are idempotent: retry the whole replica walk on transient
-	// failure with backoff.
+	// failure with backoff. A WrongEpoch rejection is NOT retriable
+	// here — it propagates to the client's epoch-retry layer, which
+	// refreshes the view and re-resolves placement.
 	var item Item
 	err := r.c.withRetry(func() error {
 		var err error
-		item, err = r.getOnce(key, placement)
+		item, err = r.getOnce(key, placement, epoch)
 		return err
 	})
 	return item, err
 }
 
-func (r *repStrategy) getOnce(key string, placement []string) (Item, error) {
+func (r *repStrategy) getOnce(key string, placement []string, epoch uint64) (Item, error) {
 	start := time.Now()
 	defer func() {
 		r.c.instrument("get", phaseWait, time.Since(start))
@@ -181,7 +184,7 @@ func (r *repStrategy) getOnce(key string, placement []string) (Item, error) {
 		if i > 0 {
 			r.c.mFailovers.Inc()
 		}
-		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key, Epoch: epoch})
 		switch {
 		case err == nil:
 			// The value escapes to the caller while the response body
@@ -214,14 +217,14 @@ func (r *repStrategy) getOnce(key string, placement []string) (Item, error) {
 }
 
 func (r *repStrategy) del(key string) error {
-	placement := r.c.placement(key, r.replicas)
+	placement, epoch := r.c.placement(key, r.replicas)
 	if placement == nil {
 		return ErrUnavailable
 	}
 	anyLive := false
 	deleted := 0
 	for _, addr := range placement {
-		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: key})
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpDelete, Key: key, Epoch: epoch})
 		resp.Release()
 		switch {
 		case err == nil:
@@ -229,6 +232,11 @@ func (r *repStrategy) del(key string) error {
 			deleted++
 		case errors.Is(err, wire.ErrNotFound):
 			anyLive = true
+		case errors.Is(err, wire.ErrWrongEpoch):
+			// Placement was computed against the wrong ring; surface the
+			// epoch error so the retry layer re-resolves — classifying it
+			// as a dead server could misreport ErrNotFound.
+			return err
 		}
 	}
 	if !anyLive {
@@ -240,6 +248,63 @@ func (r *repStrategy) del(key string) error {
 		return ErrNotFound
 	}
 	return nil
+}
+
+// compareDelete is the conditional delete for replication: like
+// compareSet, the decision is serialized through the first reachable
+// replica in FIXED placement order — the wire-level conditional delete
+// (OpDelete with Compare) checks-and-removes under one shard lock, so
+// two racing deleters (or a deleter racing a CAS) decide at the same
+// replica and exactly one wins. Once decided, the remaining replicas
+// are converged with unconditional deletes: every replica of the key
+// carries the same version by construction, so removing them cannot
+// lose a newer write. A replica down during convergence keeps a stale
+// copy until the anti-entropy scrubber sees the authoritative
+// placement-order read resolve elsewhere — the same window every
+// best-effort converge in this strategy has.
+func (r *repStrategy) compareDelete(key string, expect uint64) error {
+	placement, epoch := r.c.placement(key, r.replicas)
+	placement = distinct(placement)
+	if placement == nil {
+		return ErrUnavailable
+	}
+	start := time.Now()
+	defer func() {
+		r.c.instrument("delete", phaseWait, time.Since(start))
+		r.c.instrumentOp()
+	}()
+	var lastErr error
+	for i, addr := range placement {
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{
+			Op: wire.OpDelete, Key: key, Compare: expect, Epoch: epoch,
+		})
+		resp.Release()
+		switch {
+		case err == nil:
+			// Decided. Converge the other replicas; best-effort (see
+			// above).
+			for j, other := range placement {
+				if j == i {
+					continue
+				}
+				fresp, _ := r.c.pool.Roundtrip(other, &wire.Request{
+					Op: wire.OpDelete, Key: key, Epoch: epoch,
+				})
+				fresp.Release()
+			}
+			return nil
+		case errors.Is(err, wire.ErrExists):
+			return ErrCASConflict
+		case errors.Is(err, wire.ErrNotFound):
+			return ErrNotFound
+		case rpc.IsUnavailable(err):
+			lastErr = err
+			continue
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
 }
 
 // instrument records one phase duration into the per-op latency

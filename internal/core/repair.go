@@ -18,6 +18,9 @@ type RepairReport struct {
 	Missing int
 	// Rewritten is how many were restored.
 	Rewritten int
+	// BytesMoved is the payload volume of the rewrites that landed —
+	// the migration scheduler sums it into its traffic accounting.
+	BytesMoved int64
 }
 
 // Healthy reports whether the key had full redundancy already.
@@ -25,7 +28,7 @@ func (r RepairReport) Healthy() bool { return r.Missing == 0 }
 
 // String renders the report on one line.
 func (r RepairReport) String() string {
-	return fmt.Sprintf("checked=%d missing=%d rewritten=%d", r.Checked, r.Missing, r.Rewritten)
+	return fmt.Sprintf("checked=%d missing=%d rewritten=%d bytes=%d", r.Checked, r.Missing, r.Rewritten, r.BytesMoved)
 }
 
 // repairer is implemented by strategies that can restore redundancy.
@@ -47,7 +50,10 @@ func (c *Client) Repair(key string) (RepairReport, error) {
 	if !ok {
 		return RepairReport{}, fmt.Errorf("core: resilience mode %v does not support repair", c.cfg.Resilience)
 	}
-	return r.repair(key)
+	// The strategies bail out with wire.ErrWrongEpoch before any rewrite
+	// lands on a stale ring; adopt the newer view and re-resolve, the
+	// same transparent retry every data-path operation gets.
+	return epochRetry(c, func() (RepairReport, error) { return r.repair(key) })
 }
 
 // IRepair is the non-blocking form of Repair; the Future's value is
@@ -67,7 +73,8 @@ func (c *Client) IRepair(key string) *Future {
 // reachable holder in placement order is authoritative, matching the
 // read path, so repair makes durable exactly what reads observe.
 func (r *repStrategy) repair(key string) (RepairReport, error) {
-	placement := distinct(r.c.placement(key, r.replicas))
+	placement, epoch := r.c.placement(key, r.replicas)
+	placement = distinct(placement)
 	if placement == nil {
 		return RepairReport{}, ErrUnavailable
 	}
@@ -78,7 +85,7 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 	notFound := 0
 	missing := make([]string, 0, len(placement))
 	for _, addr := range placement {
-		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key, Epoch: epoch})
 		if err == nil {
 			if !found {
 				// value outlives the pooled response body (it feeds the
@@ -97,6 +104,12 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 			continue
 		}
 		resp.Release()
+		if errors.Is(err, wire.ErrWrongEpoch) {
+			// Stale placement snapshot: let the caller's epoch-retry
+			// layer refresh the view and re-resolve, rather than
+			// rewriting against the wrong ring.
+			return report, err
+		}
 		if errors.Is(err, wire.ErrNotFound) {
 			notFound++
 		}
@@ -117,7 +130,7 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 	// unrewritten (partial repair).
 	rewrites := make([]*subOp, len(missing))
 	for i, addr := range missing {
-		rewrites[i] = &subOp{addr: addr, req: wire.BatchReq{
+		rewrites[i] = &subOp{addr: addr, epoch: epoch, req: wire.BatchReq{
 			Op: wire.OpSet, Key: key, Value: value,
 			Meta: wire.ECMeta{Stripe: version},
 		}}
@@ -126,6 +139,7 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 	for _, op := range rewrites {
 		if op.fail() == nil {
 			report.Rewritten++
+			report.BytesMoved += int64(len(value))
 		}
 	}
 	return report, nil
@@ -135,7 +149,7 @@ func (r *repStrategy) repair(key string) (RepairReport, error) {
 // reconstruct the lost chunks from any K survivors, and rewrite them.
 func (e *ecStrategy) repair(key string) (RepairReport, error) {
 	n := e.k + e.m
-	placement := e.c.placement(key, n)
+	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
 		return RepairReport{}, ErrUnavailable
 	}
@@ -152,10 +166,11 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 		}
 	}()
 	notFound, reached := 0, 0
+	wrongEpoch := false
 	calls := make(map[int]*rpc.Call, n)
 	for i := 0; i < n; i++ {
 		call, err := e.c.pool.Send(placement[i], &wire.Request{
-			Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+			Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i), Epoch: epoch,
 		})
 		if err != nil {
 			continue
@@ -169,10 +184,13 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 		}
 		reached++ // the holder is alive and answered authoritatively
 		if respErr := resp.Err(); respErr != nil {
-			if errors.Is(respErr, wire.ErrNotFound) {
+			resp.Release()
+			switch {
+			case errors.Is(respErr, wire.ErrWrongEpoch):
+				wrongEpoch = true
+			case errors.Is(respErr, wire.ErrNotFound):
 				notFound++
 			}
-			resp.Release()
 			continue
 		}
 		m, chunk, err := wire.DecodeChunkPayload(resp.Value)
@@ -182,6 +200,11 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 		}
 		collector.Add(m, chunk)
 		retained = append(retained, resp)
+	}
+	if wrongEpoch {
+		// Stale placement snapshot: bail out so the caller's epoch-retry
+		// layer re-resolves before any rewrite lands on the wrong ring.
+		return report, wire.ErrWrongEpoch
 	}
 	stripe, totalLen, chunks, ok := collector.Best()
 	if !ok {
@@ -247,6 +270,7 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 		fp := e.c.pool.FramePool()
 		rewrites[j] = &subOp{
 			addr:    placement[i],
+			epoch:   epoch,
 			reqPool: fp,
 			req: wire.BatchReq{
 				Op:    wire.OpSetChunk,
@@ -256,10 +280,15 @@ func (e *ecStrategy) repair(key string) (RepairReport, error) {
 			},
 		}
 	}
+	chunkLen := make([]int, len(missing))
+	for j, i := range missing {
+		chunkLen[j] = len(chunks[i])
+	}
 	e.c.sendBatches(rewrites)
-	for _, op := range rewrites {
+	for j, op := range rewrites {
 		if op.fail() == nil {
 			report.Rewritten++
+			report.BytesMoved += int64(chunkLen[j])
 		}
 	}
 	return report, nil
@@ -278,7 +307,7 @@ func (c *Client) Verify(key string) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("core: resilience mode %v does not support verify", c.cfg.Resilience)
 	}
-	return v.verify(key)
+	return epochRetry(c, func() (bool, error) { return v.verify(key) })
 }
 
 // verifier is implemented by strategies that can attest full
@@ -294,14 +323,15 @@ type verifier interface {
 // value is a lost replica (false, nil); all holders answering
 // not-found is an authoritative miss.
 func (r *repStrategy) verify(key string) (bool, error) {
-	placement := distinct(r.c.placement(key, r.replicas))
+	placement, epoch := r.c.placement(key, r.replicas)
+	placement = distinct(placement)
 	if placement == nil {
 		return false, ErrUnavailable
 	}
 	var ref []byte
 	have, notFound := 0, 0
 	for _, addr := range placement {
-		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key})
+		resp, err := r.c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpGet, Key: key, Epoch: epoch})
 		switch {
 		case err == nil:
 			if have > 0 && !bytes.Equal(resp.Value, ref) {
@@ -332,7 +362,7 @@ func (r *repStrategy) verify(key string) (bool, error) {
 
 func (e *ecStrategy) verify(key string) (bool, error) {
 	n := e.k + e.m
-	placement := e.c.placement(key, n)
+	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
 		return false, ErrUnavailable
 	}
@@ -349,7 +379,7 @@ func (e *ecStrategy) verify(key string) (bool, error) {
 	notFound, have := 0, 0
 	for i := 0; i < n; i++ {
 		resp, err := e.c.pool.Roundtrip(placement[i], &wire.Request{
-			Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i),
+			Op: wire.OpGetChunk, Key: wire.ChunkKey(key, i), Epoch: epoch,
 		})
 		switch {
 		case err == nil:

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ecstore/internal/membership"
+	"ecstore/internal/wire"
+)
+
+// epochRetryLimit bounds how many membership changes one logical
+// operation chases before giving up: each retry refreshes the view and
+// re-resolves placement, so under a flapping ring the operation fails
+// with the epoch error instead of spinning forever.
+const epochRetryLimit = 3
+
+// withEpochRetry runs fn and, on a membership-epoch rejection
+// (wire.ErrWrongEpoch), refreshes the client's view from the cluster
+// and re-runs it. fn re-resolves placement through c.placement on
+// every attempt, so the retry really does route against the new ring.
+// The rejection is raised by the server BEFORE executing the request,
+// so the rejected request itself never landed; partially-landed
+// multi-location writes are unwound by the strategies exactly as any
+// other mid-write failure.
+func (c *Client) withEpochRetry(fn func() (Item, error)) (Item, error) {
+	return epochRetry(c, fn)
+}
+
+// epochRetry is the typed core of withEpochRetry, shared by entry
+// points whose results are not Items (Repair's report, Verify's
+// verdict).
+func epochRetry[T any](c *Client, fn func() (T, error)) (T, error) {
+	for attempt := 0; ; attempt++ {
+		v, err := fn()
+		if err == nil || !errors.Is(err, wire.ErrWrongEpoch) || attempt >= epochRetryLimit {
+			return v, err
+		}
+		c.mEpochRetries.Inc()
+		_, _ = c.RefreshView()
+	}
+}
+
+// View returns the client's current membership view.
+func (c *Client) View() membership.View { return c.view.Current() }
+
+// AdoptView offers the client a view out of band (the cluster harness
+// and tests use it); only a strictly newer epoch is installed.
+func (c *Client) AdoptView(v membership.View) bool { return c.view.Adopt(v) }
+
+// OnViewChange registers fn to run whenever the client adopts a newer
+// membership view — whether via RefreshView, an admin push, or an
+// out-of-band AdoptView. The migration daemon hooks here so placement
+// changes start draining automatically. fn must not block.
+func (c *Client) OnViewChange(fn func(old, new membership.View)) {
+	c.view.OnChange(fn)
+}
+
+// RefreshView polls every server the client knows of — the current
+// view's members plus the configured seeds — for its membership view,
+// adopts the newest epoch, and best-effort pushes the winner to the
+// servers that answered with an older one (the read-repair half of the
+// epoch protocol: a stale server rejects every data request until it
+// catches up, so repairing it directly shortens the outage window).
+// It fails only when NO server answered.
+func (c *Client) RefreshView() (membership.View, error) {
+	cur := c.view.Current()
+	addrs := distinct(append(append([]string{}, cur.Servers...), c.cfg.Servers...))
+	type probe struct {
+		view membership.View
+		err  error
+	}
+	probes := make([]probe, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpRingGet, Key: "ring"})
+			if err != nil {
+				resp.Release()
+				probes[i] = probe{err: err}
+				return
+			}
+			v, derr := membership.Decode(resp.Value)
+			resp.Release()
+			probes[i] = probe{view: v, err: derr}
+		}(i, addr)
+	}
+	wg.Wait()
+	best := cur
+	reached := 0
+	var lastErr error
+	for _, p := range probes {
+		if p.err != nil {
+			lastErr = p.err
+			continue
+		}
+		reached++
+		if p.view.Epoch > best.Epoch {
+			best = p.view
+		}
+	}
+	if reached == 0 {
+		return cur, fmt.Errorf("%w: ring refresh reached no server: %v", ErrUnavailable, lastErr)
+	}
+	c.view.Adopt(best)
+	for i, p := range probes {
+		if p.err == nil && p.view.Epoch < best.Epoch {
+			_, _ = c.pushViewTo(addrs[i], best)
+		}
+	}
+	return c.view.Current(), nil
+}
+
+// pushViewTo offers v to one server over the wire, returning the view
+// the server holds afterwards (v, or something even newer).
+func (c *Client) pushViewTo(addr string, v membership.View) (membership.View, error) {
+	resp, err := c.pool.Roundtrip(addr, &wire.Request{
+		Op: wire.OpRingUpdate, Key: "ring", Value: v.Encode(),
+	})
+	if err != nil {
+		resp.Release()
+		return membership.View{}, err
+	}
+	got, derr := membership.Decode(resp.Value)
+	resp.Release()
+	return got, derr
+}
+
+// PushView installs v locally and propagates it to every server of
+// both the outgoing and incoming views — a departing server must learn
+// the view that excludes it, or it would keep accepting same-epoch
+// traffic forever. Unreachable servers are skipped (they adopt on
+// restart or via client read-repair); PushView fails only when no
+// server adopted. It returns the cluster's view afterwards, which may
+// be newer than v if a concurrent change won.
+func (c *Client) PushView(v membership.View) (membership.View, error) {
+	if err := v.Validate(); err != nil {
+		return membership.View{}, err
+	}
+	old := c.view.Current()
+	c.view.Adopt(v)
+	targets := distinct(append(append([]string{}, v.Servers...), old.Servers...))
+	acked := 0
+	var lastErr error
+	for _, addr := range targets {
+		got, err := c.pushViewTo(addr, v)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		acked++
+		if got.Epoch > v.Epoch {
+			c.view.Adopt(got)
+		}
+	}
+	if acked == 0 {
+		return c.view.Current(), fmt.Errorf("%w: no server adopted epoch %d: %v", ErrUnavailable, v.Epoch, lastErr)
+	}
+	return c.view.Current(), nil
+}
+
+// RingAdd proposes a membership view with addr joined, pushes it to
+// the cluster, and returns the installed view. The proposal is built
+// on a freshly refreshed view so a concurrent change is not silently
+// overwritten by a stale epoch+1.
+func (c *Client) RingAdd(addr string) (membership.View, error) {
+	cur, err := c.RefreshView()
+	if err != nil {
+		return cur, err
+	}
+	if cur.Contains(addr) {
+		return cur, fmt.Errorf("core: %s is already a member of epoch %d", addr, cur.Epoch)
+	}
+	return c.PushView(cur.WithAdded(addr))
+}
+
+// RingRemove proposes a membership view with addr removed and pushes
+// it to the cluster (including addr itself, so a still-live departing
+// server stops accepting placement traffic immediately).
+func (c *Client) RingRemove(addr string) (membership.View, error) {
+	cur, err := c.RefreshView()
+	if err != nil {
+		return cur, err
+	}
+	if !cur.Contains(addr) {
+		return cur, fmt.Errorf("core: %s is not a member of epoch %d", addr, cur.Epoch)
+	}
+	next := cur.WithRemoved(addr)
+	if len(next.Servers) == 0 {
+		return cur, fmt.Errorf("core: refusing to remove the last server %s", addr)
+	}
+	return c.PushView(next)
+}
+
+// RingServerStatus is one server's answer in a RingStatus sweep.
+type RingServerStatus struct {
+	Addr string
+	View membership.View
+	Err  error
+}
+
+// RingStatus reports the membership view each known server currently
+// holds, for the admin `ring status` surface: disagreement between the
+// rows is the propagation lag the epoch protocol closes.
+func (c *Client) RingStatus() []RingServerStatus {
+	cur := c.view.Current()
+	addrs := distinct(append(append([]string{}, cur.Servers...), c.cfg.Servers...))
+	out := make([]RingServerStatus, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			out[i].Addr = addr
+			resp, err := c.pool.Roundtrip(addr, &wire.Request{Op: wire.OpRingGet, Key: "ring"})
+			if err != nil {
+				resp.Release()
+				out[i].Err = err
+				return
+			}
+			v, derr := membership.Decode(resp.Value)
+			resp.Release()
+			out[i].View, out[i].Err = v, derr
+		}(i, addr)
+	}
+	wg.Wait()
+	return out
+}

@@ -22,10 +22,18 @@ const DefaultScanPageSize = wire.DefaultScanLimit
 // exactly what Repair reconstructs from). Only when no server answers
 // at all does ScanKeys fail, with ErrUnavailable.
 func (c *Client) ScanKeys() ([]string, error) {
+	return c.ScanKeysOn(c.view.Current().Servers)
+}
+
+// ScanKeysOn is ScanKeys over an explicit server list. The migration
+// scheduler passes the union of the outgoing and incoming views'
+// servers: data being drained still lives on members only the old ring
+// names, and a current-view-only scan would miss it.
+func (c *Client) ScanKeysOn(addrs []string) ([]string, error) {
 	set := make(map[string]struct{})
 	reached := 0
 	var lastErr error
-	for _, addr := range c.cfg.Servers {
+	for _, addr := range distinct(addrs) {
 		err := c.scanServer(addr, DefaultScanPageSize, func(stored string) {
 			key, _ := wire.LogicalKey(stored)
 			set[key] = struct{}{}

@@ -40,6 +40,29 @@ func New(vnodes int) *Ring {
 	return &Ring{vnodes: vnodes, memberAt: make(map[string]bool)}
 }
 
+// Build returns a ring populated with members in one shot, sorting the
+// point set once instead of once per member. The membership layer uses
+// it to materialize a per-epoch ring from a view's server list.
+func Build(vnodes int, members []string) *Ring {
+	r := New(vnodes)
+	for _, m := range members {
+		if r.memberAt[m] {
+			continue
+		}
+		r.memberAt[m] = true
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, point{
+				hash:   hashKey(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+		r.members = append(r.members, m)
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	sort.Strings(r.members)
+	return r
+}
+
 func hashKey(s string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(s))

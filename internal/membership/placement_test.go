@@ -1,0 +1,176 @@
+package membership
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"ecstore/internal/hashring"
+)
+
+// Placement-stability property test (ISSUE 9 satellite 2): adding or
+// removing one server between epochs must be a *minimal* rebalance.
+// Keys whose placement does not involve the changed server move zero
+// chunks, and the number of keys that move at all stays within the
+// consistent-hashing bound (~n/N of the keyspace for an n-wide
+// placement on N servers).
+//
+// The properties are deterministic — the ring hash is fixed — so the
+// bounds are asserted exactly, not statistically.
+
+const (
+	placementKeys  = 5000
+	placementWidth = 3 // chunk fan-out per key (e.g. K+M or replicas)
+)
+
+func placementServers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7001", i+1)
+	}
+	return out
+}
+
+func placementKey(i int) string { return fmt.Sprintf("bench-key-%06d", i) }
+
+// TestPlacementEpochStable: two rings materialized from the same
+// member set — regardless of epoch number — produce identical ordered
+// placement for every key. An epoch bump with no membership delta
+// (e.g. a retried admin command) therefore moves zero chunks.
+func TestPlacementEpochStable(t *testing.T) {
+	servers := placementServers(10)
+	v1 := NewView(servers)
+	v5 := v1.WithAdded("x:1").WithRemoved("x:1").WithAdded("x:1").WithRemoved("x:1")
+	if v5.Epoch != 5 || !slices.Equal(v1.Servers, v5.Servers) {
+		t.Fatalf("setup: v5 = %v", v5)
+	}
+	r1 := hashring.Build(0, v1.Servers)
+	r5 := hashring.Build(0, v5.Servers)
+	for i := 0; i < placementKeys; i++ {
+		key := placementKey(i)
+		p1 := r1.GetN(key, placementWidth)
+		p5 := r5.GetN(key, placementWidth)
+		if !slices.Equal(p1, p5) {
+			t.Fatalf("key %s moved across a no-op epoch change: %v -> %v", key, p1, p5)
+		}
+	}
+}
+
+// TestPlacementAddIsMinimal: joining one server may only *insert* the
+// new member into a key's placement walk. For every key, either the
+// ordered placement is untouched, or the only member gained is the new
+// server and at most one incumbent is displaced; surviving incumbents
+// keep their relative order. Total disruption is bounded by the
+// consistent-hashing expectation n/(N+1).
+func TestPlacementAddIsMinimal(t *testing.T) {
+	servers := placementServers(10)
+	added := "10.0.0.99:7001"
+	oldRing := hashring.Build(0, servers)
+	newRing := hashring.Build(0, NewView(servers).WithAdded(added).Servers)
+
+	movedKeys := 0
+	for i := 0; i < placementKeys; i++ {
+		key := placementKey(i)
+		oldP := oldRing.GetN(key, placementWidth)
+		newP := newRing.GetN(key, placementWidth)
+		if slices.Equal(oldP, newP) {
+			continue
+		}
+		movedKeys++
+		// Gained members must be exactly {added}.
+		for _, s := range newP {
+			if !slices.Contains(oldP, s) && s != added {
+				t.Fatalf("key %s gained %s which is neither incumbent nor the added server (%v -> %v)", key, s, oldP, newP)
+			}
+		}
+		if !slices.Contains(newP, added) {
+			t.Fatalf("key %s changed placement without involving the added server (%v -> %v)", key, oldP, newP)
+		}
+		// At most one incumbent is displaced from the set.
+		displaced := 0
+		for _, s := range oldP {
+			if !slices.Contains(newP, s) {
+				displaced++
+			}
+		}
+		if displaced > 1 {
+			t.Fatalf("key %s displaced %d incumbents, want <=1 (%v -> %v)", key, displaced, oldP, newP)
+		}
+		// Surviving incumbents keep their relative order: the new
+		// placement with the added server deleted must be a prefix-
+		// order-preserving subsequence of the old one.
+		var survivors []string
+		for _, s := range newP {
+			if s != added {
+				survivors = append(survivors, s)
+			}
+		}
+		j := 0
+		for _, s := range oldP {
+			if j < len(survivors) && survivors[j] == s {
+				j++
+			}
+		}
+		if j != len(survivors) {
+			t.Fatalf("key %s reordered incumbents (%v -> %v)", key, oldP, newP)
+		}
+	}
+
+	// Consistent-hashing bound: the new server lands in a key's top-n
+	// with probability ~n/(N+1); allow 2x for vnode imbalance. Each
+	// moved key refills exactly one chunk (the added server's), so this
+	// also bounds chunk movement.
+	expect := float64(placementWidth) / float64(len(servers)+1)
+	frac := float64(movedKeys) / float64(placementKeys)
+	if frac > 2*expect {
+		t.Fatalf("moved fraction %.3f exceeds 2x consistent-hashing bound %.3f", frac, expect)
+	}
+	if movedKeys == 0 {
+		t.Fatal("no keys moved at all; the added server received nothing")
+	}
+	t.Logf("add: %d/%d keys moved (%.1f%%, bound %.1f%%)", movedKeys, placementKeys, 100*frac, 200*expect)
+}
+
+// TestPlacementRemoveIsMinimal: a departing server's keys redistribute
+// without disturbing keys it never held, and each affected key gains
+// at most one replacement member.
+func TestPlacementRemoveIsMinimal(t *testing.T) {
+	servers := placementServers(10)
+	removed := servers[3]
+	oldRing := hashring.Build(0, servers)
+	newRing := hashring.Build(0, NewView(servers).WithRemoved(removed).Servers)
+
+	movedKeys := 0
+	for i := 0; i < placementKeys; i++ {
+		key := placementKey(i)
+		oldP := oldRing.GetN(key, placementWidth)
+		newP := newRing.GetN(key, placementWidth)
+		held := slices.Contains(oldP, removed)
+		if !held {
+			if !slices.Equal(oldP, newP) {
+				t.Fatalf("key %s never placed on %s yet moved (%v -> %v)", key, removed, oldP, newP)
+			}
+			continue
+		}
+		movedKeys++
+		if slices.Contains(newP, removed) {
+			t.Fatalf("key %s still placed on removed server (%v)", key, newP)
+		}
+		gained := 0
+		for _, s := range newP {
+			if !slices.Contains(oldP, s) {
+				gained++
+			}
+		}
+		if gained > 1 {
+			t.Fatalf("key %s gained %d members on a single removal, want <=1 (%v -> %v)", key, gained, oldP, newP)
+		}
+	}
+
+	expect := float64(placementWidth) / float64(len(servers))
+	frac := float64(movedKeys) / float64(placementKeys)
+	if frac > 2*expect {
+		t.Fatalf("moved fraction %.3f exceeds 2x consistent-hashing bound %.3f", frac, expect)
+	}
+	t.Logf("remove: %d/%d keys moved (%.1f%%, bound %.1f%%)", movedKeys, placementKeys, 100*frac, 200*expect)
+}

@@ -92,6 +92,13 @@ func (b *ClusterBackend) Delete(key string) (bool, error) {
 	}
 }
 
+// DeleteCas removes the key cluster-wide only while its stored stripe
+// version still equals cas — the wire-level conditional delete, decided
+// under one shard lock at the deciding replica.
+func (b *ClusterBackend) DeleteCas(key string, cas uint64) error {
+	return translate(b.Client.DeleteCas(key, cas))
+}
+
 // Flush drops every item on every configured server.
 func (b *ClusterBackend) Flush() error {
 	return b.Client.FlushAll()

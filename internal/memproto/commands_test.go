@@ -91,6 +91,20 @@ func (b *fakeBackend) Delete(key string) (bool, error) {
 	return ok, nil
 }
 
+func (b *fakeBackend) DeleteCas(key string, cas uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, ok := b.items[key]
+	if !ok {
+		return memproto.ErrCacheMiss
+	}
+	if cur.CAS != cas {
+		return memproto.ErrCASConflict
+	}
+	delete(b.items, key)
+	return nil
+}
+
 func (b *fakeBackend) Flush() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -84,6 +84,11 @@ type Backend interface {
 	Cas(key string, value []byte, ttl time.Duration, cas uint64) (uint64, error)
 	// Delete removes key, reporting whether it existed.
 	Delete(key string) (bool, error)
+	// DeleteCas removes key only while its CAS token still equals cas
+	// — atomically, with no check-then-delete window a concurrent
+	// writer could slip through. An absent key returns ErrCacheMiss, a
+	// token mismatch ErrCASConflict. cas must be non-zero.
+	DeleteCas(key string, cas uint64) error
 	// Flush removes every item.
 	Flush() error
 	// Stats returns server statistics as key/value lines.

@@ -187,9 +187,11 @@ func (h *Handler) handleMetaSet(br *bufio.Reader, bw *bufio.Writer, args []strin
 }
 
 // handleMetaDelete: md <key> <flags>*. C<cas> makes the delete
-// conditional; the check-then-delete is not atomic against concurrent
-// writers (a conditional delete needs store support the wire protocol
-// does not carry yet).
+// conditional via the backend's atomic DeleteCas — the compare and the
+// removal happen under one lock at the deciding store, so a concurrent
+// writer can never slip between them (the old check-then-delete raced:
+// a cas-stamped overwrite landing after the Get but before the Delete
+// was silently destroyed).
 func (h *Handler) handleMetaDelete(bw *bufio.Writer, args []string) (bool, bool, error) {
 	if len(args) == 0 || !validKey(args[0]) {
 		writeString(bw, "CLIENT_ERROR bad key\r\n")
@@ -202,19 +204,32 @@ func (h *Handler) handleMetaDelete(bw *bufio.Writer, args []string) (bool, bool,
 		return false, true, nil
 	}
 	status := "HD"
-	if mf.hasCas {
-		cur, err := h.backend.Get(key)
+	switch {
+	case mf.hasCas && mf.cas == 0:
+		// Token 0 never matches a stored item (versions are non-zero);
+		// classify as present-but-mismatched or absent.
+		_, err := h.backend.Get(key)
 		switch {
 		case errors.Is(err, ErrCacheMiss):
 			status = "NF"
 		case err != nil:
 			h.serverError(bw, false, err)
 			return false, true, nil
-		case cur.CAS != mf.cas:
+		default:
 			status = "EX"
 		}
-	}
-	if status == "HD" {
+	case mf.hasCas:
+		err := h.backend.DeleteCas(key, mf.cas)
+		switch {
+		case errors.Is(err, ErrCacheMiss):
+			status = "NF"
+		case errors.Is(err, ErrCASConflict):
+			status = "EX"
+		case err != nil:
+			h.serverError(bw, false, err)
+			return false, true, nil
+		}
+	default:
 		existed, err := h.backend.Delete(key)
 		if err != nil {
 			h.serverError(bw, false, err)

@@ -1,0 +1,177 @@
+package memproto_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ecstore/internal/memproto"
+)
+
+// Regression tests for the `md <key> C<cas>` lost-update bug (ISSUE 9
+// satellite 4): the proxy used to implement conditional delete as
+// Get-compare-then-Delete, so a write that landed between the check
+// and the delete was silently destroyed even though its CAS token no
+// longer matched. The fix routes the command through the backend's
+// single atomic DeleteCas operation; these tests pin both the
+// mechanism and the observable two-client interleaving.
+
+// countingDeleteBackend records which delete-path operations the
+// handler performs.
+type countingDeleteBackend struct {
+	*fakeBackend
+	deleteCalls    int
+	deleteCasCalls int
+}
+
+func (b *countingDeleteBackend) Delete(key string) (bool, error) {
+	b.mu.Lock()
+	b.deleteCalls++
+	b.mu.Unlock()
+	return b.fakeBackend.Delete(key)
+}
+
+func (b *countingDeleteBackend) DeleteCas(key string, cas uint64) error {
+	b.mu.Lock()
+	b.deleteCasCalls++
+	b.mu.Unlock()
+	return b.fakeBackend.DeleteCas(key, cas)
+}
+
+// TestMetaDeleteCasIsSingleAtomicOp: `md k C<cas>` must be exactly one
+// backend DeleteCas — no read-check and no unconditional delete, i.e.
+// no window for a concurrent writer to slip into.
+func TestMetaDeleteCasIsSingleAtomicOp(t *testing.T) {
+	b := &countingDeleteBackend{fakeBackend: newFakeBackend()}
+	cas := b.store("k", []byte{0, 0, 0, 0, 'v'})
+
+	out := runScript(t, b, "md k C1\r\nquit\r\n")
+	if !strings.HasPrefix(out, "HD") {
+		t.Fatalf("md with matching cas %d -> %q", cas, out)
+	}
+	if b.deleteCasCalls != 1 || b.deleteCalls != 0 || b.getCalls != 0 {
+		t.Fatalf("md C made %d DeleteCas + %d Delete + %d Get calls, want 1 + 0 + 0",
+			b.deleteCasCalls, b.deleteCalls, b.getCalls)
+	}
+}
+
+// gatedDeleteBackend parks the first DeleteCas until released, so the
+// test can interleave a second client's write inside the conditional
+// delete with deterministic ordering.
+type gatedDeleteBackend struct {
+	*fakeBackend
+	entered chan struct{} // closed when DeleteCas is reached
+	release chan struct{} // DeleteCas proceeds once closed
+}
+
+func (b *gatedDeleteBackend) DeleteCas(key string, cas uint64) error {
+	close(b.entered)
+	<-b.release
+	return b.fakeBackend.DeleteCas(key, cas)
+}
+
+// TestMetaDeleteCasTwoClientInterleaving: client A issues md with the
+// token it last read; before the delete decision commits, client B
+// overwrites the key. The delete must lose (EX) and B's acked write
+// must survive. The old check-then-delete implementation passed the
+// stale check and then destroyed B's write, answering HD.
+func TestMetaDeleteCasTwoClientInterleaving(t *testing.T) {
+	b := &gatedDeleteBackend{
+		fakeBackend: newFakeBackend(),
+		entered:     make(chan struct{}),
+		release:     make(chan struct{}),
+	}
+	tokenA := b.store("k", []byte{0, 0, 0, 0, 'a'})
+	if tokenA != 1 {
+		t.Fatalf("setup token = %d", tokenA)
+	}
+
+	// Client A: conditional delete with the current token, parked at
+	// the backend gate.
+	h := memproto.NewHandler(b)
+	aDone := make(chan string, 1)
+	go func() {
+		var out bytes.Buffer
+		_ = h.ServeConn(strings.NewReader("md k C1\r\nquit\r\n"), &out)
+		aDone <- out.String()
+	}()
+
+	select {
+	case <-b.entered:
+	case out := <-aDone:
+		// The handler answered without reaching DeleteCas: it must have
+		// taken a check-then-delete path — the regression this test pins.
+		t.Fatalf("md C resolved without the atomic backend op (answered %q)", out)
+	case <-time.After(5 * time.Second):
+		t.Fatal("md C never reached the backend")
+	}
+
+	// Client B: overwrite while A's delete is in flight; fully acked.
+	outB := runScript(t, b.fakeBackend, "set k 0 0 1\r\nb\r\nquit\r\n")
+	if !strings.HasPrefix(outB, "STORED") {
+		t.Fatalf("client B set -> %q", outB)
+	}
+
+	close(b.release)
+	outA := <-aDone
+	if !strings.HasPrefix(outA, "EX") {
+		t.Fatalf("interleaved md C -> %q, want EX (stale token must lose)", outA)
+	}
+
+	// B's write survived the losing delete.
+	b.mu.Lock()
+	item, ok := b.items["k"]
+	b.mu.Unlock()
+	if !ok || !bytes.Equal(item.Value, []byte{0, 0, 0, 0, 'b'}) {
+		t.Fatalf("client B's acked write destroyed: present=%v value=%q", ok, item.Value)
+	}
+}
+
+// TestMetaDeleteCasSequentialStaleness: the wire-visible contract on a
+// real erasure-coded cluster — a token invalidated by a later write
+// answers EX and leaves the newer value intact; the fresh token
+// deletes (HD).
+func TestMetaDeleteCasSequentialStaleness(t *testing.T) {
+	_, dial := startProxy(t)
+	a, b := dial(), dial()
+
+	a.send("ms k 1 c\r\n1\r\n")
+	header := a.line()
+	if !strings.HasPrefix(header, "HD c") {
+		t.Fatalf("ms -> %q", header)
+	}
+	stale := strings.TrimPrefix(header, "HD c")
+
+	b.send("ms k 1 c\r\n2\r\n")
+	header = b.line()
+	if !strings.HasPrefix(header, "HD c") {
+		t.Fatalf("overwrite -> %q", header)
+	}
+	fresh := strings.TrimPrefix(header, "HD c")
+	if fresh == stale {
+		t.Fatalf("overwrite did not bump cas (%s)", fresh)
+	}
+
+	a.send("md k C%s\r\n", stale)
+	if got := a.line(); got != "EX" {
+		t.Fatalf("md with superseded token -> %q, want EX", got)
+	}
+	a.send("mg k v\r\n")
+	if got := a.line(); got != "VA 1" {
+		t.Fatalf("value lost to a stale delete: %q", got)
+	}
+	if got := string(a.read(1)); got != "2" {
+		t.Fatalf("value = %q, want the second write", got)
+	}
+	a.read(2)
+
+	a.send("md k C%s\r\n", fresh)
+	if got := a.line(); got != "HD" {
+		t.Fatalf("md with current token -> %q", got)
+	}
+	a.send("mg k\r\n")
+	if got := a.line(); got != "EN" {
+		t.Fatalf("key survives its own delete: %q", got)
+	}
+}

@@ -1,0 +1,292 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecstore/internal/core"
+	"ecstore/internal/hashring"
+	"ecstore/internal/membership"
+	"ecstore/internal/metrics"
+)
+
+// fakeClient drives the daemon's control flow without a cluster.
+type fakeClient struct {
+	mu       sync.Mutex
+	keys     []string
+	scanErr  error
+	view     membership.View
+	migrated []string
+	// failKeys maps keys to the error MigrateKey returns for them.
+	failKeys map[string]error
+	// reports maps keys to the per-key report MigrateKey returns.
+	reports map[string]core.MigrateReport
+
+	onChange func(old, new membership.View)
+}
+
+func (f *fakeClient) ScanKeysOn(addrs []string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scanErr != nil {
+		return nil, f.scanErr
+	}
+	return append([]string{}, f.keys...), nil
+}
+
+func (f *fakeClient) MigrateKey(key string, oldRing *hashring.Ring) (core.MigrateReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.migrated = append(f.migrated, key)
+	if err := f.failKeys[key]; err != nil {
+		return core.MigrateReport{}, err
+	}
+	return f.reports[key], nil
+}
+
+func (f *fakeClient) View() membership.View { return f.view }
+
+func (f *fakeClient) OnViewChange(fn func(old, new membership.View)) { f.onChange = fn }
+
+func (f *fakeClient) migratedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.migrated)
+}
+
+func newFake(nkeys int) *fakeClient {
+	f := &fakeClient{
+		view:     membership.View{Epoch: 2, Servers: []string{"a:1", "b:1", "c:1"}},
+		failKeys: map[string]error{},
+		reports:  map[string]core.MigrateReport{},
+	}
+	for i := 0; i < nkeys; i++ {
+		f.keys = append(f.keys, fmt.Sprintf("k%03d", i))
+	}
+	return f
+}
+
+func oldView() membership.View {
+	return membership.View{Epoch: 1, Servers: []string{"a:1", "b:1"}}
+}
+
+func TestRunCycleDrainsSource(t *testing.T) {
+	f := newFake(5)
+	f.reports["k001"] = core.MigrateReport{Moved: true, Refilled: 2, Dropped: 1, BytesMoved: 100}
+	d, err := New(Config{Client: f, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	rep := d.RunCycle(nil)
+	if rep.Sources != 1 || rep.Scanned != 5 || rep.Err != nil {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Moved != 1 || rep.Refilled != 2 || rep.Dropped != 1 || rep.BytesMoved != 100 {
+		t.Fatalf("per-key aggregation: %+v", rep)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending = %d after clean cycle", d.Pending())
+	}
+	if f.migratedCount() != 5 {
+		t.Fatalf("migrated %d keys, want 5", f.migratedCount())
+	}
+	if !strings.Contains(rep.String(), "scanned=5") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestEnqueueDedupAndBound(t *testing.T) {
+	d, err := New(Config{Client: newFake(0), Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := oldView()
+	d.Enqueue(v)
+	d.Enqueue(v) // same epoch: deduplicated
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", d.Pending())
+	}
+	for e := uint64(2); e < 20; e++ {
+		d.Enqueue(membership.View{Epoch: e, Servers: v.Servers})
+	}
+	if d.Pending() != maxPendingSources {
+		t.Fatalf("pending = %d, want bound %d", d.Pending(), maxPendingSources)
+	}
+}
+
+func TestFailedSourceStaysQueued(t *testing.T) {
+	f := newFake(3)
+	f.failKeys["k001"] = errors.New("holder down")
+	d, err := New(Config{Client: f, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	rep := d.RunCycle(nil)
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Failed)
+	}
+	if d.Pending() != 1 {
+		t.Fatal("failed source was dequeued")
+	}
+	// The holder recovers; the retry cycle drains the source.
+	f.mu.Lock()
+	delete(f.failKeys, "k001")
+	f.mu.Unlock()
+	rep = d.RunCycle(nil)
+	if rep.Failed != 0 || d.Pending() != 0 {
+		t.Fatalf("retry: failed=%d pending=%d", rep.Failed, d.Pending())
+	}
+}
+
+func TestAbsentKeyIsNotFailure(t *testing.T) {
+	f := newFake(2)
+	// A key deleted between scan and migrate is convergence, not error.
+	f.failKeys["k000"] = core.ErrNotFound
+	d, err := New(Config{Client: f, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	rep := d.RunCycle(nil)
+	if rep.Failed != 0 || rep.Err != nil || d.Pending() != 0 {
+		t.Fatalf("report = %+v pending = %d", rep, d.Pending())
+	}
+}
+
+func TestScanErrorStaysQueued(t *testing.T) {
+	f := newFake(3)
+	f.scanErr = errors.New("cluster unreachable")
+	d, err := New(Config{Client: f, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	rep := d.RunCycle(nil)
+	if rep.Err == nil || d.Pending() != 1 {
+		t.Fatalf("err=%v pending=%d", rep.Err, d.Pending())
+	}
+	if !strings.Contains(rep.String(), "error:") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestCancelKeepsSource(t *testing.T) {
+	f := newFake(100)
+	d, err := New(Config{Client: f, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	cancel := make(chan struct{})
+	close(cancel)
+	rep := d.RunCycle(cancel)
+	if rep.Scanned != 0 {
+		t.Fatalf("scanned = %d with pre-closed cancel", rep.Scanned)
+	}
+	if d.Pending() != 1 {
+		t.Fatal("canceled source was dequeued")
+	}
+}
+
+func TestRateBudget(t *testing.T) {
+	f := newFake(5)
+	// 100 keys/s spaces 5 keys over >= 40ms; unthrottled would be ~0.
+	d, err := New(Config{Client: f, Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	rep := d.RunCycle(nil)
+	if rep.Scanned != 5 {
+		t.Fatalf("scanned = %d", rep.Scanned)
+	}
+	if rep.Duration < 35*time.Millisecond {
+		t.Fatalf("cycle took %v; rate budget not applied", rep.Duration)
+	}
+}
+
+func TestAttachQueuesOnViewChange(t *testing.T) {
+	f := newFake(1)
+	d, err := New(Config{Client: f, Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Attach(f) {
+		t.Fatal("Attach rejected a client with the hook")
+	}
+	if d.Attach(struct{}{}) {
+		t.Fatal("Attach accepted a hook-less client")
+	}
+	old := oldView()
+	f.onChange(old, f.view)
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d after view change", d.Pending())
+	}
+}
+
+func TestStartStopAndKick(t *testing.T) {
+	f := newFake(4)
+	cycles := make(chan Report, 4)
+	d, err := New(Config{Client: f, Rate: -1, OnCycle: func(r Report) { cycles <- r }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(f)
+	d.Start()
+	d.Start() // idempotent
+	defer d.Stop()
+
+	f.onChange(oldView(), f.view)
+	select {
+	case rep := <-cycles:
+		if rep.Scanned != 4 || rep.Err != nil {
+			t.Fatalf("cycle report = %+v", rep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no cycle after view-change kick")
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+	d.Stop()
+	d.Stop() // idempotent
+}
+
+func TestMetricsCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := newFake(3)
+	f.reports["k000"] = core.MigrateReport{Moved: true, Refilled: 1, BytesMoved: 64}
+	d, err := New(Config{Client: f, Rate: -1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Enqueue(oldView())
+	d.Kick()
+	_ = d.RunCycle(nil)
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		"ecstore_migration_keys_scanned_total": 3,
+		"ecstore_migration_keys_moved_total":   1,
+		"ecstore_migration_refills_total":      1,
+		"ecstore_migration_bytes_moved_total":  64,
+		"ecstore_migration_cycles_total":       1,
+		"ecstore_migration_kicks_total":        1,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestNewRequiresClient(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil client")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecstore/internal/bufpool"
@@ -203,11 +204,25 @@ type Pool struct {
 	gSuspect     *metrics.Gauge
 	hCallSeconds *stats.Histogram
 
+	// epochSource, when set, supplies the sender's membership epoch;
+	// SendTimeout stamps it onto every request that is not already
+	// stamped, so all call sites — strategies, bulk batches, scans —
+	// carry the epoch without threading it through each request
+	// literal. Atomic: the send path must not take the pool lock.
+	epochSource atomic.Pointer[func() uint64]
+
 	mu         sync.Mutex
 	conns      map[string]*muxConn
 	health     map[string]*health
 	onRecovery func(addr string)
 	closed     bool
+}
+
+// SetEpochSource registers fn as the pool's membership-epoch supplier.
+// Every subsequent request sent with a zero Epoch is stamped with
+// fn()'s value at send time.
+func (p *Pool) SetEpochSource(fn func() uint64) {
+	p.epochSource.Store(&fn)
 }
 
 // NewPool returns a Pool dialing through network.
@@ -261,6 +276,11 @@ func (p *Pool) Send(addr string, req *wire.Request) (*Call, error) {
 // released after the frame is written — or on any failure path — and
 // the caller must not touch req.Value afterwards, success or not.
 func (p *Pool) SendTimeout(addr string, req *wire.Request, timeout time.Duration) (*Call, error) {
+	if req.Epoch == 0 {
+		if src := p.epochSource.Load(); src != nil {
+			req.Epoch = (*src)()
+		}
+	}
 	h := p.healthFor(addr)
 	if h != nil && !h.admit(time.Now(), p.probeBase, p.probeMax) {
 		p.mFailFast.Inc()

@@ -33,7 +33,7 @@ func (s *Server) code(k, m int) (erasure.Code, error) {
 // primary followed by the next distinct servers. When the cluster has
 // fewer than n members, chunk i wraps onto placement[i % members].
 func (s *Server) placement(key string, n int) ([]string, error) {
-	servers := s.ring.GetN(key, n)
+	servers := s.view.Ring().GetN(key, n)
 	if len(servers) == 0 {
 		return nil, errors.New("server: no peers configured for erasure placement")
 	}

@@ -18,7 +18,7 @@ import (
 	"time"
 
 	"ecstore/internal/bufpool"
-	"ecstore/internal/hashring"
+	"ecstore/internal/membership"
 	"ecstore/internal/metrics"
 	"ecstore/internal/rpc"
 	"ecstore/internal/stats"
@@ -42,8 +42,9 @@ type Config struct {
 	// Network is the transport to listen/dial through.
 	Network transport.Network
 	// Peers lists every server address in the cluster, including this
-	// one. It seeds the consistent-hashing ring used to locate chunk
-	// placements for the server-side schemes. May be nil for a
+	// one. It seeds the epoch-1 membership view whose consistent-hashing
+	// ring locates chunk placements for the server-side schemes; newer
+	// views arrive over the wire (OpRingUpdate). May be nil for a
 	// standalone server.
 	Peers []string
 	// Store configures the item store.
@@ -71,7 +72,7 @@ type Server struct {
 	cfg      Config
 	listener transport.Listener
 	store    *store.Store
-	ring     *hashring.Ring
+	view     *membership.Tracker
 	peers    *rpc.Pool
 	jobs     chan job
 	quit     chan struct{}
@@ -173,7 +174,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		listener: ln,
 		store:    store.New(cfg.Store),
-		ring:     hashring.New(0),
+		view:     membership.NewTracker(membership.NewView(cfg.Peers), 0),
 		peers:    rpc.NewPool(cfg.Network, rpc.WithCallTimeout(peerTimeout), rpc.WithMetrics(reg)),
 		// The job queue is sized to keep every worker busy while the
 		// readers stay responsive; beyond that, backpressure blocks
@@ -193,7 +194,7 @@ func New(cfg Config) (*Server, error) {
 	for _, op := range []wire.Op{
 		wire.OpSet, wire.OpGet, wire.OpDelete, wire.OpSetChunk, wire.OpGetChunk,
 		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing, wire.OpScan,
-		wire.OpCompareSet, wire.OpFlush, wire.OpBatch,
+		wire.OpCompareSet, wire.OpFlush, wire.OpBatch, wire.OpRingGet, wire.OpRingUpdate,
 	} {
 		s.mOps[op] = reg.Counter(fmt.Sprintf("ecstore_server_ops_total{op=%q}", op))
 	}
@@ -201,10 +202,8 @@ func New(cfg Config) (*Server, error) {
 	// The queue depth is read through the channel at snapshot time
 	// rather than kept as an inc/dec pair, so it can never drift.
 	reg.RegisterFunc("ecstore_server_job_queue_depth", func() int64 { return int64(len(s.jobs)) })
+	reg.RegisterFunc("ecstore_server_membership_epoch", func() int64 { return int64(s.view.Epoch()) })
 	reg.Gauge("ecstore_server_workers").Set(int64(workers))
-	for _, p := range cfg.Peers {
-		s.ring.Add(p)
-	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -219,6 +218,14 @@ func (s *Server) Addr() string { return s.listener.Addr() }
 
 // Store exposes the underlying item store (used by stats and tests).
 func (s *Server) Store() *store.Store { return s.store }
+
+// View returns the server's current membership view.
+func (s *Server) View() membership.View { return s.view.Current() }
+
+// AdoptView offers the server a membership view out of band (the
+// harness uses it to seed a restarted node); the wire path is
+// OpRingUpdate. Reports whether the view was newer and installed.
+func (s *Server) AdoptView(v membership.View) bool { return s.view.Adopt(v) }
 
 // Metrics returns the server's metrics registry — the same registry an
 // OpStats request serializes and the -metrics-addr endpoint scrapes.
@@ -348,10 +355,48 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	return resp
 }
 
+// epochExempt lists the operations served regardless of the request's
+// membership epoch: liveness, stats, the ring protocol itself — a
+// stale party must always be able to probe and catch up — and the
+// address-directed fan-outs (flush, scan) whose semantics do not
+// depend on placement agreement.
+func epochExempt(op wire.Op) bool {
+	switch op {
+	case wire.OpPing, wire.OpStats, wire.OpRingGet, wire.OpRingUpdate,
+		wire.OpFlush, wire.OpScan:
+		return true
+	default:
+		return false
+	}
+}
+
 func (s *Server) dispatch(req *wire.Request) *wire.Response {
+	// Membership epoch gate (DESIGN §13): a data request stamped with
+	// an epoch other than ours was placed against a different ring.
+	// Reject it with our encoded view — a stale sender adopts it and
+	// retries; a newer sender pushes its view (OpRingUpdate) first.
+	// Epoch 0 marks an epoch-unaware sender (peer chunk traffic,
+	// legacy tools) and is always accepted: those requests are
+	// address-directed, not placement-derived.
+	if req.Epoch != 0 && !epochExempt(req.Op) {
+		if cur := s.view.Current(); req.Epoch != cur.Epoch {
+			return &wire.Response{Status: wire.StatusWrongEpoch, Value: cur.Encode()}
+		}
+	}
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpRingGet:
+		return &wire.Response{Status: wire.StatusOK, Value: s.view.Current().Encode()}
+	case wire.OpRingUpdate:
+		v, err := membership.Decode(req.Value)
+		if err != nil {
+			return errorResponse(err)
+		}
+		s.view.Adopt(v)
+		// Answer with the now-current view: the pusher learns whether it
+		// was adopted or superseded by something even newer.
+		return &wire.Response{Status: wire.StatusOK, Value: s.view.Current().Encode()}
 	case wire.OpSet, wire.OpSetChunk:
 		// Meta.Stripe doubles as the item version (chunk writes already
 		// carry their stripe there; whole-value writers mint one the same
@@ -375,6 +420,23 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		s.store.Flush()
 		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpDelete:
+		// A delete carrying Compare is the atomic conditional delete
+		// behind the proxy's `md C<cas>`: it removes the item only while
+		// the stored version still equals Compare, under one shard lock
+		// (no check-then-delete window).
+		if req.Compare != 0 {
+			out, prior := s.store.CompareDelete(req.Key, req.Compare)
+			resp := &wire.Response{Meta: wire.ECMeta{Stripe: prior}}
+			switch out {
+			case store.CASStored:
+				resp.Status = wire.StatusOK
+			case store.CASNotFound:
+				resp.Status = wire.StatusNotFound
+			default:
+				resp.Status = wire.StatusExists
+			}
+			return resp
+		}
 		// A delete carrying a stripe ID is conditional: it removes the
 		// chunk only if the stored chunk still belongs to that stripe.
 		// The client's failed-write unwind uses this so it never deletes

@@ -336,6 +336,36 @@ func (s *Store) CompareSwap(key string, value []byte, ttl time.Duration, expect,
 	return CASStored, prior, nil
 }
 
+// CompareDelete atomically removes key if the stored version equals
+// expect — the memcached `md C<cas>` semantics. The check and the
+// removal happen under one shard lock, so a concurrent writer cannot
+// slip a new value in between them (the check-then-delete race this
+// replaces). CASStored means the item was deleted; CASNotFound means
+// the key was absent or expired; CASExists means the stored version
+// differed (returned in prior) and the item is untouched. expect must
+// be non-zero — versions are never zero.
+func (s *Store) CompareDelete(key string, expect uint64) (CASOutcome, uint64) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return CASNotFound, 0
+	}
+	e := el.Value.(*entry)
+	if !e.expiresAt.IsZero() && !sh.now().Before(e.expiresAt) {
+		sh.removeLocked(el, e)
+		sh.stats.Expired++
+		return CASNotFound, 0
+	}
+	if e.version != expect {
+		return CASExists, e.version
+	}
+	sh.removeLocked(el, e)
+	sh.stats.Deletes++
+	return CASStored, e.version
+}
+
 // Delete removes key, reporting whether it was present.
 func (s *Store) Delete(key string) bool {
 	sh := s.shardFor(key)

@@ -51,10 +51,11 @@ const (
 	MaxBatchOps = 4096
 	// BatchOverhead is the fixed payload prefix (the sub-op count).
 	BatchOverhead = 4
-	// Per-sub fixed headers: the top-level request/response headers
-	// minus the 8-byte correlation ID (correlation is positional
-	// within one frame).
-	batchReqFixed  = reqHeaderLen - 8
+	// Per-sub fixed headers. Sub-requests carry no correlation ID
+	// (correlation is positional within one frame) and no epoch (the
+	// enclosing OpBatch frame's epoch covers every sub-op), so these
+	// are independent of the top-level header sizes.
+	batchReqFixed  = 1 + 2 + 1 + 1 + 1 + 4 + 8 + 4 + 8 + 4
 	batchRespFixed = respHeaderLen - 8
 )
 
@@ -280,6 +281,8 @@ func (r *BatchResp) Err() error {
 		return ErrOutOfMemory
 	case StatusExists:
 		return ErrExists
+	case StatusWrongEpoch:
+		return ErrWrongEpoch
 	default:
 		return fmt.Errorf("wire: server error: %s", r.Value)
 	}

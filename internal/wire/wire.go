@@ -66,6 +66,17 @@ const (
 	// (MGet/MSet/MDelete) wire path. Sub-encodings are defined in
 	// batch.go; nested batches are rejected.
 	OpBatch
+	// OpRingGet returns the server's current membership view (epoch +
+	// server set) as an encoded membership payload in the response
+	// value. Always served regardless of request epoch — it is how a
+	// stale party learns the new ring.
+	OpRingGet
+	// OpRingUpdate offers the server a membership view in the request
+	// value. The server adopts it iff it is strictly newer than its
+	// current view, and always answers with its (possibly just
+	// updated) current view — adopt-if-newer makes pushes idempotent
+	// and safe to fan out. Always served regardless of request epoch.
+	OpRingUpdate
 )
 
 // CompareAbsent, as OpCompareSet's Compare value, demands that the key
@@ -87,6 +98,8 @@ var opNames = map[Op]string{
 	OpCompareSet: "compare-set",
 	OpFlush:      "flush",
 	OpBatch:      "batch",
+	OpRingGet:    "ring-get",
+	OpRingUpdate: "ring-update",
 }
 
 // String returns the opcode mnemonic.
@@ -120,6 +133,12 @@ const (
 	// StatusExists rejects an OpCompareSet whose Compare did not match
 	// the stored version (memcached EXISTS / NOT_STORED semantics).
 	StatusExists
+	// StatusWrongEpoch rejects a request whose Epoch does not match the
+	// server's current membership epoch. The response value carries the
+	// server's encoded membership view so the sender can catch up (or,
+	// when the sender is ahead, learn that this server needs a push) and
+	// re-resolve placement before retrying.
+	StatusWrongEpoch
 )
 
 var statusNames = map[Status]string{
@@ -128,6 +147,7 @@ var statusNames = map[Status]string{
 	StatusOutOfMemory: "out-of-memory",
 	StatusError:       "error",
 	StatusExists:      "exists",
+	StatusWrongEpoch:  "wrong-epoch",
 }
 
 // String returns the status mnemonic.
@@ -189,9 +209,16 @@ type Request struct {
 	// 0 means no expiry, as in memcached.
 	TTLSeconds uint32
 	// Compare is the version an OpCompareSet demands of the stored
-	// item (CompareAbsent = the key must not exist). Zero and ignored
-	// for every other op.
+	// item (CompareAbsent = the key must not exist). On OpDelete a
+	// non-zero Compare makes the delete conditional: it succeeds only
+	// while the stored item's version equals Compare (the atomic
+	// memcached `md C<cas>`). Zero and ignored for every other op.
 	Compare uint64
+	// Epoch is the sender's membership epoch. Servers reject data
+	// operations whose epoch differs from their own with
+	// StatusWrongEpoch (see membership); 0 means epoch-unaware and is
+	// always accepted.
+	Epoch uint64
 	// Meta carries EC metadata for chunk and encode/decode ops.
 	Meta ECMeta
 
@@ -289,6 +316,8 @@ func (r *Response) Err() error {
 		return ErrOutOfMemory
 	case StatusExists:
 		return ErrExists
+	case StatusWrongEpoch:
+		return ErrWrongEpoch
 	default:
 		return fmt.Errorf("wire: server error: %s", r.Value)
 	}
@@ -303,6 +332,10 @@ var (
 	// ErrExists mirrors StatusExists: the compare-set's expected
 	// version did not match the stored item.
 	ErrExists = errors.New("wire: version mismatch")
+	// ErrWrongEpoch mirrors StatusWrongEpoch: the request's membership
+	// epoch differs from the server's. The caller should refresh its
+	// view and retry (core.Client does this transparently).
+	ErrWrongEpoch = errors.New("wire: membership epoch mismatch")
 )
 
 /*
@@ -320,6 +353,7 @@ Request:
 	u64  stripe
 	u32  ttlSeconds
 	u64  compare
+	u64  epoch
 	u32  valueLen
 	...  key bytes
 	...  value bytes
@@ -339,7 +373,7 @@ Response:
 */
 
 const (
-	reqHeaderLen  = 8 + 1 + 2 + 1 + 1 + 1 + 4 + 8 + 4 + 8 + 4
+	reqHeaderLen  = 8 + 1 + 2 + 1 + 1 + 1 + 4 + 8 + 4 + 8 + 8 + 4
 	respHeaderLen = 8 + 1 + 1 + 1 + 1 + 4 + 8 + 4 + 4
 )
 
@@ -370,6 +404,7 @@ func appendRequestHeader(buf []byte, req *Request) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, req.Meta.Stripe)
 	buf = binary.BigEndian.AppendUint32(buf, req.TTLSeconds)
 	buf = binary.BigEndian.AppendUint64(buf, req.Compare)
+	buf = binary.BigEndian.AppendUint64(buf, req.Epoch)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Value)))
 	return append(buf, req.Key...)
 }
@@ -414,7 +449,8 @@ func parseRequest(body []byte, copyValue bool) (*Request, error) {
 	}
 	req.TTLSeconds = binary.BigEndian.Uint32(body[26:30])
 	req.Compare = binary.BigEndian.Uint64(body[30:38])
-	valueLen := int(binary.BigEndian.Uint32(body[38:42]))
+	req.Epoch = binary.BigEndian.Uint64(body[38:46])
+	valueLen := int(binary.BigEndian.Uint32(body[46:50]))
 	if !req.Op.Valid() || keyLen > MaxKeyLen || valueLen > MaxValueLen {
 		return nil, ErrMalformed
 	}
