@@ -80,6 +80,20 @@ type Client struct {
 	hFramesPerBulk *stats.Histogram
 	hBulkBatchSize *stats.Histogram
 
+	// Delta-write metric handles (DESIGN §14). mDeltaSaved is the wire
+	// bytes a delta write avoided versus the full re-stripe it
+	// replaced; hDeltaPatch is a count-valued histogram of total patch
+	// bytes per delta write (samples recorded as time.Duration(n)).
+	// mECWriteBytes counts the chunk/patch payload bytes every EC write
+	// actually put on the wire, whichever path it took — the
+	// denominator BENCH_10 reports wire bytes per overwrite from.
+	mDeltaWrites   *metrics.Counter
+	mDeltaFallback *metrics.Counter
+	mDeltaReasons  map[string]*metrics.Counter
+	mDeltaSaved    *metrics.Counter
+	mECWriteBytes  *metrics.Counter
+	hDeltaPatch    *stats.Histogram
+
 	// sleep overrides the retry-backoff sleep (tests only; time.Sleep
 	// when nil).
 	sleep func(time.Duration)
@@ -173,11 +187,20 @@ func New(cfg Config) (*Client, error) {
 		mBulkSubops:    reg.Counter("ecstore_client_bulk_subops_total"),
 		hFramesPerBulk: reg.Histogram("ecstore_client_frames_per_bulk_op"),
 		hBulkBatchSize: reg.Histogram("ecstore_client_bulk_batch_subops"),
+		mDeltaWrites:   reg.Counter("ecstore_client_delta_writes_total"),
+		mDeltaFallback: reg.Counter("ecstore_client_delta_fallbacks_total"),
+		mDeltaSaved:    reg.Counter("ecstore_client_delta_bytes_saved_total"),
+		mECWriteBytes:  reg.Counter("ecstore_client_ec_write_payload_bytes_total"),
+		hDeltaPatch:    reg.Histogram("ecstore_client_delta_patch_bytes"),
 		cache: nearcache.New(nearcache.Config{
 			MaxBytes: cfg.CacheBytes,
 			MaxAge:   cfg.CacheMaxAge,
 			Metrics:  reg,
 		}),
+	}
+	c.mDeltaReasons = make(map[string]*metrics.Counter, len(deltaFallbackReasons))
+	for _, r := range deltaFallbackReasons {
+		c.mDeltaReasons[r] = reg.Counter(fmt.Sprintf("ecstore_client_delta_fallbacks_total{reason=%q}", r))
 	}
 	// Safety net for requests that reach the wire without an explicit
 	// epoch (best-effort paths): stamp them with the current view's
@@ -287,6 +310,9 @@ func (c *Client) ISetTTL(key string, value []byte, ttl time.Duration) *Future {
 		return c.withEpochRetry(func() (Item, error) {
 			version, err := c.strat.set(key, value, ttl)
 			c.invalidate(key)
+			if err == nil {
+				c.recordDeltaBase(key, value, version, ttl)
+			}
 			return Item{Version: version}, err
 		})
 	}))
@@ -354,6 +380,9 @@ func (c *Client) ICas(key string, value []byte, ttl time.Duration, cas uint64) *
 			// version, a conflict is an EXISTS observation proving the
 			// cached version stale, and on failure the state is unknown.
 			c.invalidate(key)
+			if err == nil {
+				c.recordDeltaBase(key, value, version, ttl)
+			}
 			return Item{Version: version}, err
 		})
 	}))

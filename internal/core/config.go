@@ -129,6 +129,13 @@ const (
 	// entry when CacheBytes enables it, bounding cross-client
 	// staleness even for items with no TTL of their own.
 	DefaultCacheMaxAge = 5 * time.Second
+	// DefaultDeltaReadBeforeMin is the smallest value size at which an
+	// EC overwrite with no cached base value issues a read-before-write
+	// to obtain one. Below it the read costs more than the re-stripe it
+	// would save: a full re-stripe moves value*(K+M)/K bytes while the
+	// read moves ~value, so the crossover favors reads only once the
+	// value is large enough to dwarf the extra round trip.
+	DefaultDeltaReadBeforeMin = 128 << 10
 )
 
 // Config configures a Client.
@@ -191,6 +198,20 @@ type Config struct {
 	// timeout / health-transition counters. A fresh registry is
 	// created if nil; expose it with Client.Metrics.
 	Metrics *metrics.Registry
+	// DisableDeltaWrites turns off the delta-encoded EC overwrite path:
+	// every Set/Cas of an erasure-coded key falls back to the full
+	// re-stripe, exactly as before the delta protocol existed. The
+	// delta path is semantically identical (the patched chunks are
+	// byte-identical to a re-encode) — this switch exists for benchmark
+	// baselines and as an escape hatch against servers predating
+	// OpApplyDelta.
+	DisableDeltaWrites bool
+	// DeltaReadBeforeMin is the smallest value size at which an EC
+	// overwrite with no near-cached base value performs a
+	// read-before-write to obtain one for the delta path
+	// (DefaultDeltaReadBeforeMin if zero; negative disables
+	// read-before-write so only near-cache hits take the delta path).
+	DeltaReadBeforeMin int
 	// DisableBulkBatch turns off the batched bulk wire path: MGet/MSet/
 	// MDelete fall back to issuing one frame per key, exactly as the
 	// single-op APIs do. The batched path is semantically identical —
@@ -251,6 +272,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.CacheBytes < 0 {
 		cfg.CacheBytes = 0
+	}
+	switch {
+	case cfg.DeltaReadBeforeMin == 0:
+		cfg.DeltaReadBeforeMin = DefaultDeltaReadBeforeMin
+	case cfg.DeltaReadBeforeMin < 0:
+		cfg.DeltaReadBeforeMin = 0 // read-before-write disabled
 	}
 	switch {
 	case cfg.CacheMaxAge == 0:

@@ -47,6 +47,13 @@ func (e *ecStrategy) clientDecodes() bool {
 }
 
 func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, error) {
+	// Overwrite of a known base: ship K+M sparse patches instead of
+	// re-striping the whole value (DESIGN §14). Any disagreement —
+	// no base, resized value, oversized patch, version conflict, lost
+	// chunk — falls through to the full path below.
+	if version, err := e.trySetDelta(key, value, ttl, 0, false); !errors.Is(err, errDeltaFallback) {
+		return version, err
+	}
 	n := e.k + e.m
 	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
@@ -70,6 +77,7 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, e
 	}
 	encoded := time.Now()
 	e.c.instrument("set", phaseCode, encoded.Sub(start))
+	e.c.mECWriteBytes.Add(int64(n) * int64(wire.ChunkPayloadOverhead+len(shards[0])))
 
 	meta := wire.ECMeta{
 		K:        uint8(e.k),
@@ -148,6 +156,15 @@ func (e *ecStrategy) set(key string, value []byte, ttl time.Duration) (uint64, e
 // unwound (stripe-conditional deletes, so a newer write is never
 // collateral damage) and ErrCASConflict returned.
 func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, expect uint64) (uint64, error) {
+	// A CAS against a near-cached base at exactly the expected version
+	// can be expressed as K+M version-conditional patches — the delta
+	// round's per-holder Compare IS the CAS check (DESIGN §14). An add
+	// (expect == absent) has nothing to patch.
+	if expect != wire.CompareAbsent {
+		if version, err := e.trySetDelta(key, value, ttl, expect, true); !errors.Is(err, errDeltaFallback) {
+			return version, err
+		}
+	}
 	n := e.k + e.m
 	placement, epoch := e.c.placement(key, n)
 	if placement == nil {
@@ -162,6 +179,7 @@ func (e *ecStrategy) compareSet(key string, value []byte, ttl time.Duration, exp
 	}
 	encoded := time.Now()
 	e.c.instrument("cas", phaseCode, encoded.Sub(start))
+	e.c.mECWriteBytes.Add(int64(n) * int64(wire.ChunkPayloadOverhead+len(shards[0])))
 
 	meta := wire.ECMeta{
 		K:        uint8(e.k),
@@ -267,6 +285,7 @@ func (e *ecStrategy) unwindStripe(key string, placement []string, stripe uint64,
 // down, the next server in the placement takes over as coordinator.
 func (e *ecStrategy) serverEncodeSet(key string, value []byte, ttl time.Duration, placement []string, epoch uint64) (uint64, error) {
 	meta := wire.ECMeta{K: uint8(e.k), M: uint8(e.m), TotalLen: uint32(len(value))}
+	e.c.mECWriteBytes.Add(int64(len(value)))
 	start := time.Now()
 	defer func() {
 		e.c.instrument("set", phaseWait, time.Since(start))

@@ -218,10 +218,12 @@ func (e *ecStrategy) migrate(key string, oldRing *hashring.Ring) (MigrateReport,
 		// strictly newer than anything only the old ring holds, the key
 		// is owned by an epoch-current writer: its stripes are already
 		// routed by the current ring and there is nothing to refill.
-		// Old-placement leftovers are deliberately NOT drained here —
-		// drains are gated on a reconstructed winner — they are
-		// invisible to current-epoch readers and go once the key
-		// quiesces enough for a normal pass.
+		// Old-placement leftovers CAN go right now, though: every chunk
+		// the old ring holds is strictly older than the supersession
+		// winner (maxOld < maxNew), so a stripe-conditional delete only
+		// removes copies no reader can ever need — a concurrent write
+		// that lands after the probe changes the stripe and the delete
+		// misses, harmlessly.
 		if reached == probed {
 			var maxNew, maxOld uint64
 			for i := 0; i < n; i++ {
@@ -229,6 +231,23 @@ func (e *ecStrategy) migrate(key string, oldRing *hashring.Ring) (MigrateReport,
 				maxOld = max(maxOld, oldStripe[i])
 			}
 			if maxNew > maxOld {
+				for i := 0; i < n; i++ {
+					if oldPlacement == nil || oldPlacement[i] == newPlacement[i] || oldStripe[i] == 0 {
+						continue
+					}
+					resp, err := e.c.pool.Roundtrip(oldPlacement[i], &wire.Request{
+						Op: wire.OpDelete, Key: wire.ChunkKey(key, i),
+						Meta: wire.ECMeta{Stripe: oldStripe[i]},
+					})
+					resp.Release()
+					if err == nil {
+						report.Dropped++
+					}
+					// Any error (gone already, unreachable) leaves the
+					// leftover for a later pass — same as before this drain
+					// existed, so never worth failing the migration over.
+				}
+				report.Moved = report.Dropped > 0
 				return report, nil
 			}
 		}

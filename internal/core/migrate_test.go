@@ -7,6 +7,7 @@ import (
 
 	"ecstore/internal/core"
 	"ecstore/internal/hashring"
+	"ecstore/internal/wire"
 )
 
 // migrationModes are the resilience configurations whose placement
@@ -157,6 +158,133 @@ func TestMigrateKeyAfterRingRemove(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMigrateSupersededKeyDrainsLeftovers: when a migration pass finds
+// a key superseded by a live overwrite (probe smeared across stripes,
+// none showing K chunks, newest chunk at the NEW placement), the
+// old-placement leftovers are drained in that same pass — they used to
+// linger until the key quiesced enough for a reconstructing pass.
+func TestMigrateSupersededKeyDrainsLeftovers(t *testing.T) {
+	cl := startCluster(t, 5)
+	cfg := migrationModes()["era-ce-cd"]
+	c := newClient(t, cl, cfg)
+	const n = 5 // K+M chunk locations per key
+
+	var keys []string
+	s1 := map[string]uint64{}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("sup-%03d", i)
+		ver, err := c.SetVersion(key, bytes.Repeat([]byte{byte(i)}, 4000+i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		s1[key] = ver
+	}
+
+	old := c.View()
+	oldRing := hashring.Build(0, old.Servers)
+	if _, err := cl.AddServer("kv-joiner"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RingAdd("kv-joiner"); err != nil {
+		t.Fatal(err)
+	}
+
+	// chunkAt scans every server for key's chunks at the given stripe,
+	// returning (server, chunkIndex) pairs.
+	type loc struct{ server, idx int }
+	chunkAt := func(key string, stripe uint64) []loc {
+		var out []loc
+		for s := 0; s < len(cl.Addrs()); s++ {
+			for i := 0; i < n; i++ {
+				payload, ok := cl.Server(s).Store().Get(wire.ChunkKey(key, i))
+				if !ok {
+					continue
+				}
+				if m, _, err := wire.DecodeChunkPayload(payload); err == nil && m.Stripe == stripe {
+					out = append(out, loc{s, i})
+				}
+			}
+		}
+		return out
+	}
+	restamp := func(key string, at loc, stripe uint64) {
+		ck := wire.ChunkKey(key, at.idx)
+		payload, _ := cl.Server(at.server).Store().Get(ck)
+		m, chunk, err := wire.DecodeChunkPayload(payload)
+		if err != nil {
+			t.Fatalf("decode %q chunk %d: %v", key, at.idx, err)
+		}
+		m.Stripe = stripe
+		if err := cl.Server(at.server).Store().SetVersioned(ck, wire.EncodeChunkPayload(m, chunk), 0, stripe); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Overwrite under the new epoch: the new stripe lands at the NEW
+	// placement, stranding old-stripe chunks wherever a position moved.
+	// Pick a key that actually left leftovers behind.
+	var key string
+	var s2 uint64
+	var leftovers []loc
+	for _, k := range keys {
+		ver, err := c.SetVersion(k, bytes.Repeat([]byte{0xEE}, 4100), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if left := chunkAt(k, s1[k]); len(left) > 0 {
+			key, s2, leftovers = k, ver, left
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key's placement moved after the ring change")
+	}
+
+	// Freeze the mid-overwrite smear the supersession branch is for: the
+	// five new-placement chunks split 2/2/1 across three stripes, so no
+	// stripe reaches K=3 — exactly what a probe sweep racing a writer
+	// observes. The newest stripe sits at the new placement.
+	fresh := chunkAt(key, s2)
+	if len(fresh) != n {
+		t.Fatalf("overwrite landed %d chunks at stripe %d, want %d", len(fresh), s2, n)
+	}
+	restamp(key, fresh[0], s2+1)
+	restamp(key, fresh[1], s2+1)
+	restamp(key, fresh[2], s2+2)
+
+	report, err := c.MigrateKey(key, oldRing)
+	if err != nil {
+		t.Fatalf("migrate superseded key: %v", err)
+	}
+	if report.Dropped != len(leftovers) {
+		t.Fatalf("dropped %d leftovers, want %d", report.Dropped, len(leftovers))
+	}
+	if report.Refilled != 0 {
+		t.Fatalf("superseded key was refilled (%d): migration must not touch a live writer's stripes", report.Refilled)
+	}
+	if remaining := chunkAt(key, s1[key]); len(remaining) != 0 {
+		t.Fatalf("%d old-placement leftovers survived the drain", len(remaining))
+	}
+
+	// The key heals with the next full write, and a later migration pass
+	// over the quiesced key is a no-op: nothing left to drain or refill.
+	want := bytes.Repeat([]byte{0x5C}, 4200)
+	if err := c.Set(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get(key); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read after heal: %v", err)
+	}
+	again, err := c.MigrateKey(key, oldRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Moved || again.Dropped != 0 || again.Refilled != 0 {
+		t.Fatalf("post-heal migration pass still moved data: %+v", again)
 	}
 }
 

@@ -195,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 		wire.OpSet, wire.OpGet, wire.OpDelete, wire.OpSetChunk, wire.OpGetChunk,
 		wire.OpEncodeSet, wire.OpDecodeGet, wire.OpStats, wire.OpPing, wire.OpScan,
 		wire.OpCompareSet, wire.OpFlush, wire.OpBatch, wire.OpRingGet, wire.OpRingUpdate,
+		wire.OpApplyDelta,
 	} {
 		s.mOps[op] = reg.Counter(fmt.Sprintf("ecstore_server_ops_total{op=%q}", op))
 	}
@@ -416,6 +417,8 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		}
 	case wire.OpCompareSet:
 		return s.handleCompareSet(req)
+	case wire.OpApplyDelta:
+		return s.handleApplyDelta(req)
 	case wire.OpFlush:
 		s.store.Flush()
 		return &wire.Response{Status: wire.StatusOK}
@@ -521,6 +524,45 @@ func (s *Server) handleCompareSet(req *wire.Request) *wire.Response {
 		resp.Status = wire.StatusExists
 	}
 	return resp
+}
+
+// handleApplyDelta patches one stored erasure chunk in place — the
+// server side of the delta overwrite path. req.Compare is the stripe
+// the patch was computed against, req.Meta.Stripe the new stripe to
+// install, and req.Value the sparse XOR patch. The flow is
+// read-patch-swap: the chunk is read with its version, patched in a
+// private copy (GetMeta copies), and swapped back in only while the
+// stored version STILL equals the base stripe — so a concurrent write
+// between read and swap loses nothing, and a chunk can never end up a
+// blend of two stripes. A version mismatch answers StatusExists with
+// the holder's current stripe, exactly like a lost CAS; an absent
+// chunk answers StatusNotFound (a delta cannot re-materialise what it
+// has nothing to patch). Malformed or mismatched patches are errors
+// and leave the chunk untouched.
+func (s *Server) handleApplyDelta(req *wire.Request) *wire.Response {
+	v, version, _, ok := s.store.GetMeta(req.Key)
+	if !ok {
+		return &wire.Response{Status: wire.StatusNotFound}
+	}
+	if version != req.Compare {
+		return &wire.Response{Status: wire.StatusExists, Meta: wire.ECMeta{Stripe: version}}
+	}
+	if err := wire.ApplyDeltaPatch(v, req.Value, req.Meta); err != nil {
+		return errorResponse(err)
+	}
+	ttl := time.Duration(req.TTLSeconds) * time.Second
+	out, prior, err := s.store.CompareSwap(req.Key, v, ttl, req.Compare, req.Meta.Stripe, false)
+	if err != nil {
+		return errorResponse(err)
+	}
+	switch out {
+	case store.CASStored:
+		return &wire.Response{Status: wire.StatusOK, Meta: wire.ECMeta{Stripe: req.Meta.Stripe}}
+	case store.CASNotFound:
+		return &wire.Response{Status: wire.StatusNotFound}
+	default:
+		return &wire.Response{Status: wire.StatusExists, Meta: wire.ECMeta{Stripe: prior}}
+	}
 }
 
 // handleScan serves one page of the keyspace: it resumes at the
